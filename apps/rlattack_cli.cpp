@@ -1,0 +1,296 @@
+// rlattack — command-line driver for the full black-box attack workflow.
+//
+//   rlattack train       --game cartpole --algo dqn --episodes 300 --out v.ckpt
+//   rlattack eval        --game cartpole --algo dqn --ckpt v.ckpt --episodes 10
+//   rlattack observe     --game cartpole --algo dqn --ckpt v.ckpt \
+//                        --episodes 40 --out traces.rltr
+//   rlattack approximate --game cartpole --traces traces.rltr --m 1 \
+//                        --epochs 60 --out s2s.ckpt --meta s2s.meta
+//   rlattack attack      --game cartpole --algo dqn --victim v.ckpt \
+//                        --model s2s.ckpt --meta s2s.meta --attack fgsm \
+//                        --norm l2 --eps 1.0 --runs 10
+//   rlattack timebomb    --game cartpole --algo dqn --victim v.ckpt \
+//                        --model s2s.ckpt --meta s2s.meta --delay 4 \
+//                        --eps 0.5 --runs 15
+//   rlattack table1
+//
+// Every subcommand works purely through the public library API — the CLI
+// doubles as an end-to-end usage example.
+#include <fstream>
+#include <iostream>
+
+#include "rlattack/core/experiments.hpp"
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/env/factory.hpp"
+#include "rlattack/env/trace_io.hpp"
+#include "rlattack/nn/serialize.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/trainer.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+#include "rlattack/util/cli.hpp"
+#include "rlattack/util/stats.hpp"
+
+namespace {
+
+using namespace rlattack;
+
+int usage(const std::string& program) {
+  std::cerr
+      << "usage: " << program
+      << " <train|eval|observe|approximate|attack|timebomb|table1> "
+         "[--options]\n"
+         "run with a subcommand and no options to see its defaults in use;\n"
+         "see the header of apps/rlattack_cli.cpp for full examples.\n";
+  return 2;
+}
+
+rl::AgentPtr make_victim(env::Game game, rl::Algorithm algo,
+                         std::uint64_t seed) {
+  env::EnvPtr probe = env::make_agent_environment(game, seed);
+  return rl::make_agent(algo, rl::obs_spec_of(*probe), probe->action_count(),
+                        seed);
+}
+
+seq2seq::Seq2SeqConfig approx_config(env::Game game, std::size_t n,
+                                     std::size_t m) {
+  env::EnvPtr probe = env::make_environment(game, 1);
+  if (game == env::Game::kCartPole)
+    return seq2seq::make_cartpole_seq2seq_config(n, m);
+  return seq2seq::make_atari_seq2seq_config(probe->observation_shape(),
+                                            probe->action_count(), n, m);
+}
+
+int cmd_train(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  const rl::Algorithm algo = rl::parse_algorithm(args.get("algo", "dqn"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  rl::AgentPtr agent = make_victim(game, algo, seed);
+  env::EnvPtr train_env = env::make_agent_environment(game, seed);
+  rl::TrainConfig tc;
+  tc.episodes = static_cast<std::size_t>(args.get_int("episodes", 300));
+  tc.target_reward = args.get_double("target", 0.0);
+  tc.verbose = true;
+  rl::TrainResult result = rl::train_agent(*agent, *train_env, tc);
+  std::cout << "trained " << rl::algorithm_name(algo) << " on "
+            << env::game_name(game) << ": "
+            << result.episode_rewards.size() << " episodes, final avg "
+            << result.final_average << "\n";
+  const std::string out = args.get("out", "victim.ckpt");
+  if (!nn::save_parameters(agent->network(), out)) {
+    std::cerr << "error: failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "checkpoint written to " << out << "\n";
+  return 0;
+}
+
+int cmd_eval(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  const rl::Algorithm algo = rl::parse_algorithm(args.get("algo", "dqn"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  rl::AgentPtr agent = make_victim(game, algo, seed);
+  const std::string ckpt = args.get("ckpt", "victim.ckpt");
+  if (!nn::load_parameters(agent->network(), ckpt)) {
+    std::cerr << "error: cannot load " << ckpt << "\n";
+    return 1;
+  }
+  env::EnvPtr eval_env = env::make_agent_environment(game, seed + 1);
+  const auto rewards = rl::evaluate_agent(
+      *agent, *eval_env,
+      static_cast<std::size_t>(args.get_int("episodes", 10)), seed + 1);
+  util::RunningStats stats;
+  for (double r : rewards) stats.add(r);
+  std::cout << "greedy score over " << rewards.size()
+            << " episodes: " << util::fmt_pm(stats.mean(), stats.stddev(), 2)
+            << "\n";
+  return 0;
+}
+
+int cmd_observe(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  const rl::Algorithm algo = rl::parse_algorithm(args.get("algo", "dqn"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  rl::AgentPtr agent = make_victim(game, algo, seed);
+  const std::string ckpt = args.get("ckpt", "victim.ckpt");
+  if (!nn::load_parameters(agent->network(), ckpt)) {
+    std::cerr << "error: cannot load " << ckpt << "\n";
+    return 1;
+  }
+  env::EnvPtr obs_env = env::make_agent_environment(game, seed + 2);
+  auto episodes = rl::collect_episodes(
+      *agent, *obs_env,
+      static_cast<std::size_t>(args.get_int("episodes", 40)), seed + 2);
+  const std::string out = args.get("out", "traces.rltr");
+  if (!env::save_episodes(episodes, out)) {
+    std::cerr << "error: failed to write " << out << "\n";
+    return 1;
+  }
+  std::size_t steps = 0;
+  for (const auto& ep : episodes) steps += ep.steps.size();
+  std::cout << "recorded " << episodes.size() << " episodes (" << steps
+            << " steps) to " << out << "\n";
+  return 0;
+}
+
+int cmd_approximate(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  const auto traces = env::load_episodes(args.get("traces", "traces.rltr"));
+  if (!traces) {
+    std::cerr << "error: cannot load traces\n";
+    return 1;
+  }
+  const auto m = static_cast<std::size_t>(args.get_int("m", 1));
+  seq2seq::TrainSettings settings;
+  settings.epochs = static_cast<std::size_t>(args.get_int("epochs", 60));
+  settings.batches_per_epoch =
+      static_cast<std::size_t>(args.get_int("batches", 48));
+  const auto candidates = core::Zoo::length_candidates(game);
+  auto make_config = [&](std::size_t n) { return approx_config(game, n, m); };
+  auto result = seq2seq::build_approximator(
+      *traces, candidates, make_config, settings,
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  std::cout << "Algorithm 1 chose n = " << result.search.best_length
+            << "; eval accuracy = " << result.outcome.eval_accuracy << "\n";
+  const std::string out = args.get("out", "s2s.ckpt");
+  if (!nn::save_parameters(result.model->params(), out)) {
+    std::cerr << "error: failed to write " << out << "\n";
+    return 1;
+  }
+  std::ofstream meta(args.get("meta", "s2s.meta"), std::ios::trunc);
+  meta << result.search.best_length << ' ' << result.outcome.eval_accuracy
+       << '\n';
+  std::cout << "model written to " << out << "\n";
+  return 0;
+}
+
+/// Loads a victim + approximator pair for the attack subcommands.
+struct LoadedPair {
+  rl::AgentPtr victim;
+  std::unique_ptr<seq2seq::Seq2SeqModel> model;
+};
+
+std::optional<LoadedPair> load_pair(const util::CliArgs& args, env::Game game,
+                                    std::size_t m) {
+  LoadedPair pair;
+  const rl::Algorithm algo = rl::parse_algorithm(args.get("algo", "dqn"));
+  pair.victim = make_victim(game, algo,
+                            static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  if (!nn::load_parameters(pair.victim->network(),
+                           args.get("victim", "victim.ckpt"))) {
+    std::cerr << "error: cannot load victim checkpoint\n";
+    return std::nullopt;
+  }
+  std::ifstream meta(args.get("meta", "s2s.meta"));
+  std::size_t n = 0;
+  double acc = 0.0;
+  if (!(meta >> n >> acc) || n == 0) {
+    std::cerr << "error: cannot read approximator meta file\n";
+    return std::nullopt;
+  }
+  pair.model = std::make_unique<seq2seq::Seq2SeqModel>(
+      approx_config(game, n, m), 1);
+  if (!nn::load_parameters(pair.model->params(),
+                           args.get("model", "s2s.ckpt"))) {
+    std::cerr << "error: cannot load approximator checkpoint (was it "
+                 "trained with --m "
+              << m << "?)\n";
+    return std::nullopt;
+  }
+  return pair;
+}
+
+int cmd_attack(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  auto pair = load_pair(args, game, 1);
+  if (!pair) return 1;
+  attack::AttackPtr attacker =
+      attack::make_attack(attack::parse_attack(args.get("attack", "fgsm")));
+  attack::Budget budget;
+  budget.norm = args.get("norm", "l2") == "linf"
+                    ? attack::Budget::Norm::kLinf
+                    : attack::Budget::Norm::kL2;
+  budget.epsilon = static_cast<float>(args.get_double("eps", 1.0));
+  core::AttackSession session(*pair->victim, game, *pair->model, *attacker,
+                              budget);
+  core::AttackPolicy clean;
+  core::AttackPolicy attacked;
+  attacked.mode = core::AttackPolicy::Mode::kEveryStep;
+  attacked.stride = static_cast<std::size_t>(args.get_int("stride", 1));
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 10));
+  util::RunningStats clean_stats, attacked_stats;
+  std::size_t flips = 0, samples = 0;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    clean_stats.add(session.run_episode(clean, 100 + run).total_reward);
+    auto outcome = session.run_episode(attacked, 100 + run);
+    attacked_stats.add(outcome.total_reward);
+    flips += outcome.immediate_flips;
+    samples += outcome.attacks_attempted;
+  }
+  std::cout << "clean reward:    "
+            << util::fmt_pm(clean_stats.mean(), clean_stats.stddev(), 2)
+            << "\nattacked reward: "
+            << util::fmt_pm(attacked_stats.mean(), attacked_stats.stddev(), 2)
+            << "\ntransfer rate:   "
+            << util::fmt(samples ? static_cast<double>(flips) / samples : 0.0,
+                         3)
+            << " (" << samples << " samples)\n";
+  return 0;
+}
+
+int cmd_timebomb(const util::CliArgs& args) {
+  const env::Game game = env::parse_game(args.get("game", "cartpole"));
+  auto pair = load_pair(args, game, 10);
+  if (!pair) return 1;
+  attack::AttackPtr attacker =
+      attack::make_attack(attack::parse_attack(args.get("attack", "fgsm")));
+  attack::Budget budget{attack::Budget::Norm::kLinf,
+                        static_cast<float>(args.get_double("eps", 0.3))};
+  core::AttackSession session(*pair->victim, game, *pair->model, *attacker,
+                              budget);
+  const auto delay = static_cast<std::size_t>(args.get_int("delay", 4));
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 15));
+  std::size_t successes = 0, trials = 0;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    core::AttackPolicy clean;
+    auto baseline = session.run_episode(clean, 500 + run);
+    core::AttackPolicy bomb;
+    bomb.mode = core::AttackPolicy::Mode::kSingleStep;
+    bomb.trigger_step =
+        pair->model->config().input_steps + (run % 10);
+    bomb.goal_mode = attack::Goal::Mode::kTargeted;
+    bomb.position = delay;
+    auto attacked = session.run_episode(bomb, 500 + run);
+    if (attacked.fired_step == static_cast<std::size_t>(-1)) continue;
+    const std::size_t check = attacked.fired_step + delay;
+    if (baseline.actions.size() <= check) continue;
+    ++trials;
+    if (attacked.actions.size() <= check ||
+        attacked.actions[check] != baseline.actions[check])
+      ++successes;
+  }
+  std::cout << "time-bomb success at delay " << delay << ": " << successes
+            << "/" << trials << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv);
+    if (args.command() == "train") return cmd_train(args);
+    if (args.command() == "eval") return cmd_eval(args);
+    if (args.command() == "observe") return cmd_observe(args);
+    if (args.command() == "approximate") return cmd_approximate(args);
+    if (args.command() == "attack") return cmd_attack(args);
+    if (args.command() == "timebomb") return cmd_timebomb(args);
+    if (args.command() == "table1") {
+      std::cout << rlattack::core::threat_model_table().to_string();
+      return 0;
+    }
+    return usage(args.program());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

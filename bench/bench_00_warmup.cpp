@@ -1,0 +1,41 @@
+// Warmup: trains (or loads) every victim agent and approximator the other
+// bench binaries share, so `for b in build/bench/*` front-loads all
+// training here and the per-figure binaries run pure experiments from the
+// checkpoint cache. Safe to re-run: cached artefacts load in seconds.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rlattack;
+  core::Zoo zoo = bench::make_zoo();
+
+  util::TableWriter victims({"Game", "Algorithm", "Greedy score"});
+  // CartPole victims: Figures 4 and 7 attack all three algorithms.
+  for (rl::Algorithm algo : {rl::Algorithm::kDqn, rl::Algorithm::kA2c,
+                             rl::Algorithm::kRainbow})
+    victims.add_row({"cartpole", rl::algorithm_name(algo),
+                     util::fmt(zoo.victim_score(env::Game::kCartPole, algo, 5),
+                               1)});
+  // Image-game victims: DQN (Figs 5-6 + the approximation source) plus A2C
+  // and Rainbow (time-bomb transfer victims, Figs 8-9).
+  for (env::Game game : {env::Game::kMiniInvaders, env::Game::kMiniPong})
+    for (rl::Algorithm algo : {rl::Algorithm::kDqn, rl::Algorithm::kA2c,
+                               rl::Algorithm::kRainbow})
+      victims.add_row({env::game_name(game), rl::algorithm_name(algo),
+                       util::fmt(zoo.victim_score(game, algo, 5), 1)});
+  bench::emit(victims, "warmup_victims", "Warmup: victim agents");
+
+  util::TableWriter approx(
+      {"Game", "Output steps m", "Input steps n", "Eval accuracy"});
+  for (env::Game game : {env::Game::kCartPole, env::Game::kMiniInvaders,
+                         env::Game::kMiniPong})
+    for (std::size_t m : {std::size_t{1}, std::size_t{10}}) {
+      core::ApproximatorInfo info =
+          zoo.approximator(game, rl::Algorithm::kDqn, m);
+      approx.add_row({env::game_name(game), std::to_string(m),
+                      std::to_string(info.input_steps),
+                      util::fmt(info.accuracy, 3)});
+    }
+  bench::emit(approx, "warmup_approximators",
+              "Warmup: seq2seq approximators (trained from DQN traces)");
+  return 0;
+}

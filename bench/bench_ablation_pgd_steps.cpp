@@ -1,0 +1,45 @@
+// Ablation: PGD iteration count. The paper adopts PGD as "an iterative
+// version of FGSM" that finds smaller/better perturbations at the cost of
+// one gradient pass per step. This bench sweeps the iteration count at a
+// fixed L2 budget and reports the immediate flip rate on the victim
+// (1 step reproduces FGSM's behaviour, more steps should not do worse).
+#include "bench_common.hpp"
+#include "rlattack/core/pipeline.hpp"
+
+int main() {
+  using namespace rlattack;
+  core::Zoo zoo = bench::make_zoo();
+  const env::Game game = env::Game::kCartPole;
+  rl::Agent& victim = zoo.victim(game, rl::Algorithm::kDqn);
+  core::ApproximatorInfo approx =
+      zoo.approximator(game, rl::Algorithm::kDqn, 1);
+
+  util::TableWriter table({"PGD steps", "Flip rate", "Samples"});
+  attack::Budget budget{attack::Budget::Norm::kL2, 0.5f};
+  const std::size_t runs = bench::scaled_runs(10);
+  for (std::size_t steps : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                            std::size_t{10}, std::size_t{20}}) {
+    attack::PgdAttack pgd(steps, 1.0f / static_cast<float>(steps) * 1.5f);
+    core::AttackSession session(victim, game, *approx.model, pgd, budget);
+    core::AttackPolicy policy;
+    policy.mode = core::AttackPolicy::Mode::kEveryStep;
+    std::size_t flips = 0, samples = 0;
+    for (std::uint64_t run = 0; run < runs; ++run) {
+      auto outcome = session.run_episode(policy, 5000 + run);
+      flips += outcome.immediate_flips;
+      samples += outcome.attacks_attempted;
+    }
+    table.add_row({std::to_string(steps),
+                   util::fmt(samples ? static_cast<double>(flips) / samples
+                                     : 0.0,
+                             3),
+                   std::to_string(samples)});
+  }
+  bench::emit(table, "ablation_pgd_steps",
+              "Ablation: PGD iteration count vs victim flip rate "
+              "(L2 budget 0.5, CartPole/DQN)");
+  std::cout << "Shape check: flip rate is non-decreasing (within noise) in "
+               "the iteration count; most of the benefit arrives within a "
+               "few steps.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared scaffolding for the experiment bench binaries: a Zoo wired to the
+// shared checkpoint cache, bench-scale plumbing and CSV output next to the
+// working directory.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "rlattack/core/experiments.hpp"
+#include "rlattack/core/zoo.hpp"
+#include "rlattack/util/table.hpp"
+
+namespace rlattack::bench {
+
+/// Builds the shared Zoo. All bench binaries use the same cache directory,
+/// so victims/approximators are trained once by whichever bench runs first
+/// and reused afterwards.
+inline core::Zoo make_zoo() {
+  core::ZooConfig config;
+  config.cache_dir = "checkpoints";
+  config.scale = core::bench_scale_from_env();
+  config.seed = 42;
+  return core::Zoo(config);
+}
+
+/// Number of per-point episode runs, scaled down with the bench scale but
+/// never below 4 (the paper uses 20 at full scale).
+inline std::size_t scaled_runs(std::size_t paper_runs = 20) {
+  const double scale = core::bench_scale_from_env();
+  const auto runs =
+      static_cast<std::size_t>(static_cast<double>(paper_runs) * scale);
+  return std::max<std::size_t>(4, std::min(paper_runs, runs));
+}
+
+/// Prints the table and writes it as CSV alongside the working directory.
+inline void emit(const util::TableWriter& table, const std::string& name,
+                 const std::string& caption) {
+  std::cout << "\n=== " << caption << " ===\n" << table.to_string();
+  const std::string path = name + ".csv";
+  if (table.write_csv(path))
+    std::cout << "(rows written to " << path << ")\n";
+}
+
+}  // namespace rlattack::bench

@@ -1,0 +1,34 @@
+// Figure 7: transferability of crafted samples (fraction that flip the
+// victim's action) vs L2 budget, CartPole victims trained with DQN, A2C and
+// Rainbow. This is where FGSM/PGD clearly beat Gaussian noise even though
+// reward damage (Figs 4-6) is comparable.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rlattack;
+  core::Zoo zoo = bench::make_zoo();
+
+  util::TableWriter table(
+      {"Algorithm", "Attack", "L2 budget", "Transfer rate", "Samples"});
+  const rl::Algorithm algos[] = {rl::Algorithm::kDqn, rl::Algorithm::kA2c,
+                                 rl::Algorithm::kRainbow};
+  for (rl::Algorithm algo : algos) {
+    core::TransferabilityConfig cfg;
+    cfg.game = env::Game::kCartPole;
+    cfg.algorithm = algo;
+    cfg.l2_budgets = {0.25, 0.5, 1.0, 2.0};
+    cfg.runs = bench::scaled_runs(10);
+    cfg.seed = 2000 + static_cast<std::uint64_t>(algo);
+    auto points = core::run_transferability_experiment(zoo, cfg);
+    for (const auto& p : points)
+      table.add_row({rl::algorithm_name(algo), attack::attack_name(p.attack),
+                     util::fmt(p.l2_budget, 2), util::fmt(p.transfer_rate, 3),
+                     std::to_string(p.samples)});
+  }
+  bench::emit(table, "fig7_transferability",
+              "Figure 7: transferability vs L2 budget on CartPole");
+  std::cout << "Shape check (paper): FGSM and PGD achieve strictly higher "
+               "transfer rates than Gaussian noise at equal L2 budget, "
+               "across all three training algorithms.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks for the NN substrate's hot paths: the
+// layers that dominate attack-crafting latency (the attacker must craft a
+// perturbation within one environment step).
+#include <benchmark/benchmark.h>
+
+#include "rlattack/attack/attack.hpp"
+#include "rlattack/nn/conv2d.hpp"
+#include "rlattack/nn/dense.hpp"
+#include "rlattack/nn/lstm.hpp"
+#include "rlattack/seq2seq/model.hpp"
+
+namespace {
+
+using namespace rlattack;
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, util::Rng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (float& x : t.data()) x = rng.normal_f(0.0f, 1.0f);
+  return t;
+}
+
+void BM_DenseForward(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto width = static_cast<std::size_t>(state.range(0));
+  nn::Dense dense(width, width, rng);
+  nn::Tensor x = random_tensor({32, width}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(dense.forward(x));
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseForward)->Arg(64)->Arg(256);
+
+void BM_DenseBackward(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto width = static_cast<std::size_t>(state.range(0));
+  nn::Dense dense(width, width, rng);
+  nn::Tensor x = random_tensor({32, width}, rng);
+  nn::Tensor g = random_tensor({32, width}, rng);
+  dense.forward(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.backward(g));
+    dense.zero_grad();
+  }
+}
+BENCHMARK(BM_DenseBackward)->Arg(64)->Arg(256);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2D conv(2, 8, 3, 2, 1, rng);
+  nn::Tensor x = random_tensor({32, 2, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_LstmForward(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  nn::Lstm lstm(64, 48, false, rng);
+  nn::Tensor x = random_tensor({32, steps, 64}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(lstm.forward(x));
+  state.SetItemsProcessed(state.iterations() * 32 * steps);
+}
+BENCHMARK(BM_LstmForward)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_LstmBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  nn::Lstm lstm(64, 48, false, rng);
+  nn::Tensor x = random_tensor({32, steps, 64}, rng);
+  nn::Tensor g = random_tensor({32, 48}, rng);
+  for (auto _ : state) {
+    lstm.forward(x);
+    benchmark::DoNotOptimize(lstm.backward(g));
+    lstm.zero_grad();
+  }
+}
+BENCHMARK(BM_LstmBackward)->Arg(5)->Arg(10);
+
+/// End-to-end attack-crafting latency: one FGSM perturbation against the
+/// Pong-scale seq2seq model (the per-step cost of the every-step attack).
+void BM_FgsmCraftPongScale(benchmark::State& state) {
+  util::Rng rng(4);
+  seq2seq::Seq2SeqConfig cfg =
+      seq2seq::make_atari_seq2seq_config({1, 16, 16}, 3, 5, 1);
+  seq2seq::Seq2SeqModel model(cfg, 5);
+  attack::CraftInputs inputs;
+  inputs.action_history = random_tensor({1, 5, 3}, rng);
+  inputs.obs_history = random_tensor({1, 5, 256}, rng);
+  inputs.current_obs = random_tensor({1, 256}, rng);
+  attack::FgsmAttack fgsm;
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.1f};
+  env::ObservationBounds bounds{0.0f, 1.0f};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        fgsm.perturb(model, inputs, attack::Goal{}, budget, bounds, rng));
+}
+BENCHMARK(BM_FgsmCraftPongScale);
+
+}  // namespace
+
+BENCHMARK_MAIN();

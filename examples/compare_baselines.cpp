@@ -1,0 +1,73 @@
+// The paper's methodological critique, reproduced as a standalone example:
+// at equal L2 budget, random Gaussian jamming reduces a victim's score
+// about as well as gradient-based attacks — but gradient attacks flip far
+// more individual actions. Reward damage and per-sample transferability are
+// different metrics, and prior work conflated them.
+#include <iostream>
+
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/env/cartpole.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/trainer.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+#include "rlattack/util/stats.hpp"
+#include "rlattack/util/table.hpp"
+
+int main() {
+  using namespace rlattack;
+
+  std::cout << "training victim + approximator (CartPole/DQN)...\n";
+  env::CartPole train_env(env::CartPole::Config{}, 31);
+  rl::AgentPtr victim = rl::make_agent(rl::Algorithm::kDqn,
+                                       rl::ObsSpec{{4}}, 2, 31);
+  rl::TrainConfig tc;
+  tc.episodes = 300;
+  tc.target_reward = 180.0;
+  rl::train_agent(*victim, train_env, tc);
+
+  env::CartPole obs_env(env::CartPole::Config{}, 32);
+  auto episodes = rl::collect_episodes(*victim, obs_env, 30, 32);
+  auto make_config = [](std::size_t n) {
+    return seq2seq::make_cartpole_seq2seq_config(n, 1);
+  };
+  seq2seq::TrainSettings settings;
+  settings.epochs = 50;
+  settings.batches_per_epoch = 32;
+  std::vector<std::size_t> candidates{5, 10};
+  auto approx = seq2seq::build_approximator(episodes, candidates, make_config,
+                                            settings, 33);
+
+  util::TableWriter table(
+      {"Attack", "L2 budget", "Reward", "Flip rate (transferability)"});
+  for (double budget_value : {0.5, 1.0, 2.0}) {
+    for (attack::Kind kind :
+         {attack::Kind::kGaussian, attack::Kind::kFgsm, attack::Kind::kPgd}) {
+      attack::AttackPtr attacker = attack::make_attack(kind);
+      attack::Budget budget{attack::Budget::Norm::kL2,
+                            static_cast<float>(budget_value)};
+      core::AttackSession session(*victim, env::Game::kCartPole,
+                                  *approx.model, *attacker, budget);
+      core::AttackPolicy policy;
+      policy.mode = core::AttackPolicy::Mode::kEveryStep;
+      util::RunningStats rewards;
+      std::size_t flips = 0, samples = 0;
+      for (std::uint64_t run = 0; run < 10; ++run) {
+        auto outcome = session.run_episode(policy, 900 + run);
+        rewards.add(outcome.total_reward);
+        flips += outcome.immediate_flips;
+        samples += outcome.attacks_attempted;
+      }
+      table.add_row(
+          {attack::attack_name(kind), util::fmt(budget_value, 2),
+           util::fmt(rewards.mean(), 1),
+           util::fmt(samples ? static_cast<double>(flips) / samples : 0.0,
+                     3)});
+    }
+  }
+  std::cout << "\n" << table.to_string()
+            << "\nReading: the Reward column is similar across attacks at "
+               "equal budget (random jamming is a fair baseline!), while "
+               "the flip-rate column clearly separates gradient attacks "
+               "from noise.\n";
+  return 0;
+}

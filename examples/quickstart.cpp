@@ -1,0 +1,79 @@
+// Quickstart: the full black-box attack pipeline on CartPole in ~80 lines.
+//
+//   1. Train a DQN victim.
+//   2. Passively observe it playing (the attacker's only access).
+//   3. Fit the seq2seq approximator (Algorithm 1).
+//   4. Craft FGSM perturbations from the approximator and inject them into
+//      the victim's observation stream.
+//
+// Expected output: the victim balances ~200 steps clean and far fewer
+// under attack, while a matched Gaussian-noise baseline lands nearby —
+// the paper's headline methodological finding.
+#include <iostream>
+
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/env/cartpole.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/q_agent.hpp"
+#include "rlattack/rl/trainer.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+#include "rlattack/util/stats.hpp"
+
+int main() {
+  using namespace rlattack;
+
+  // 1. Train the victim.
+  std::cout << "[1/4] training DQN victim on CartPole...\n";
+  env::CartPole train_env(env::CartPole::Config{}, 1);
+  rl::AgentPtr victim = rl::make_dqn_agent(rl::ObsSpec{{4}}, 2, 1);
+  rl::TrainConfig tc;
+  tc.episodes = 300;
+  tc.target_reward = 180.0;
+  rl::train_agent(*victim, train_env, tc);
+
+  env::CartPole eval_env(env::CartPole::Config{}, 2);
+  const double clean_score =
+      util::mean_of(rl::evaluate_agent(*victim, eval_env, 10, 2));
+  std::cout << "       victim greedy score: " << clean_score << "\n";
+
+  // 2. Passive observation — the attacker only watches.
+  std::cout << "[2/4] collecting 40 observation episodes...\n";
+  env::CartPole obs_env(env::CartPole::Config{}, 3);
+  auto episodes = rl::collect_episodes(*victim, obs_env, 40, 3);
+
+  // 3. Algorithm 1: search the input length, then train the approximator.
+  std::cout << "[3/4] fitting seq2seq approximator (Algorithm 1)...\n";
+  auto make_config = [](std::size_t n) {
+    return seq2seq::make_cartpole_seq2seq_config(n, /*m=*/1);
+  };
+  seq2seq::TrainSettings settings;
+  settings.epochs = 60;
+  settings.batches_per_epoch = 48;
+  std::vector<std::size_t> candidates{5, 10, 25};
+  auto approx = seq2seq::build_approximator(episodes, candidates, make_config,
+                                            settings, 4);
+  std::cout << "       chosen input length n = " << approx.search.best_length
+            << ", next-action accuracy = " << approx.outcome.eval_accuracy
+            << "\n";
+
+  // 4. Attack: every-step FGSM vs a matched Gaussian baseline.
+  std::cout << "[4/4] attacking (L2 budget 1.0, 10 episodes each)...\n";
+  attack::Budget budget{attack::Budget::Norm::kL2, 1.0f};
+  core::AttackPolicy attacked;
+  attacked.mode = core::AttackPolicy::Mode::kEveryStep;
+
+  for (attack::Kind kind : {attack::Kind::kFgsm, attack::Kind::kGaussian}) {
+    attack::AttackPtr attacker = attack::make_attack(kind);
+    core::AttackSession session(*victim, env::Game::kCartPole, *approx.model,
+                                *attacker, budget);
+    util::RunningStats rewards;
+    for (std::uint64_t run = 0; run < 10; ++run)
+      rewards.add(session.run_episode(attacked, 100 + run).total_reward);
+    std::cout << "       " << attack::attack_name(kind)
+              << " attacked score: " << rewards.mean() << " +/- "
+              << rewards.stddev() << "\n";
+  }
+  std::cout << "done. Compare both attacked scores against the clean score "
+            << clean_score << ".\n";
+  return 0;
+}

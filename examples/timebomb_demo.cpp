@@ -1,0 +1,87 @@
+// Time-bomb demo (Section 5.4): inject ONE adversarial frame now, flip an
+// action several steps in the future. Uses deterministic counterfactual
+// pairs — the same seeded episode run clean and attacked — to show exactly
+// when the trajectories diverge.
+#include <iostream>
+
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/env/factory.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/trainer.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+
+int main() {
+  using namespace rlattack;
+  const env::Game game = env::Game::kCartPole;
+  const std::size_t delay = 4;
+
+  std::cout << "training victim (DQN on CartPole)...\n";
+  env::EnvPtr train_env = env::make_agent_environment(game, 21);
+  rl::AgentPtr victim = rl::make_agent(rl::Algorithm::kDqn,
+                                       rl::obs_spec_of(*train_env),
+                                       train_env->action_count(), 21);
+  rl::TrainConfig tc;
+  tc.episodes = 300;
+  tc.target_reward = 180.0;
+  rl::train_agent(*victim, *train_env, tc);
+
+  std::cout << "fitting the 10-step approximator from observation...\n";
+  env::EnvPtr obs_env = env::make_agent_environment(game, 22);
+  auto episodes = rl::collect_episodes(*victim, *obs_env, 30, 22);
+  auto make_config = [](std::size_t n) {
+    return seq2seq::make_cartpole_seq2seq_config(n, /*m=*/10);
+  };
+  seq2seq::TrainSettings settings;
+  settings.epochs = 50;
+  settings.batches_per_epoch = 32;
+  std::vector<std::size_t> candidates{5, 10};
+  auto approx = seq2seq::build_approximator(episodes, candidates, make_config,
+                                            settings, 23);
+
+  attack::AttackPtr fgsm = attack::make_attack(attack::Kind::kFgsm);
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.5f};
+  core::AttackSession session(*victim, game, *approx.model, *fgsm, budget);
+
+  std::size_t successes = 0, trials = 0;
+  for (std::uint64_t seed = 500; seed < 515; ++seed) {
+    core::AttackPolicy clean;
+    auto baseline = session.run_episode(clean, seed);
+
+    core::AttackPolicy bomb;
+    bomb.mode = core::AttackPolicy::Mode::kSingleStep;
+    bomb.trigger_step = approx.search.best_length + 5;
+    bomb.goal_mode = attack::Goal::Mode::kTargeted;
+    bomb.position = delay;  // flip the action `delay` steps after injection
+    auto attacked = session.run_episode(bomb, seed);
+    if (attacked.fired_step == static_cast<std::size_t>(-1)) continue;
+
+    const std::size_t check = attacked.fired_step + delay;
+    if (baseline.actions.size() <= check) continue;
+    ++trials;
+    const bool flipped = attacked.actions.size() <= check ||
+                         attacked.actions[check] != baseline.actions[check];
+    if (flipped) ++successes;
+    if (trials == 1) {
+      std::cout << "\nexample counterfactual pair (seed " << seed
+                << ", bomb planted at step " << attacked.fired_step
+                << ", target step " << check << "):\n  step:     ";
+      const std::size_t lo =
+          attacked.fired_step > 2 ? attacked.fired_step - 2 : 0;
+      const std::size_t hi =
+          std::min(check + 3, std::min(baseline.actions.size(),
+                                       attacked.actions.size()));
+      for (std::size_t t = lo; t < hi; ++t) printf("%4zu", t);
+      std::cout << "\n  clean:    ";
+      for (std::size_t t = lo; t < hi; ++t)
+        printf("%4zu", baseline.actions[t]);
+      std::cout << "\n  attacked: ";
+      for (std::size_t t = lo; t < hi; ++t)
+        printf("%4zu", attacked.actions[t]);
+      std::cout << "\n            (one frame perturbed at step "
+                << attacked.fired_step << "; everything after is clean)\n";
+    }
+  }
+  std::cout << "\ntime-bomb success rate at delay " << delay << ": "
+            << successes << "/" << trials << "\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs every experiment harness sequentially, teeing the combined output.
+cd /root/repo
+export RLATTACK_BENCH_SCALE=${RLATTACK_BENCH_SCALE:-0.5}
+: > bench_output.txt
+for b in build/bench/*; do
+  { [ -f "$b" ] && [ -x "$b" ]; } || continue
+  echo "=== RUNNING $b ===" >> bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+  echo "=== EXIT $? $b ===" >> bench_output.txt
+done
+echo ALL_BENCHES_DONE >> bench_output.txt

@@ -1,0 +1,13 @@
+#!/bin/sh
+cd /root/repo
+export RLATTACK_BENCH_SCALE=${RLATTACK_BENCH_SCALE:-0.5}
+for b in bench_table2_seq2seq_accuracy bench_fig5_invaders_reward \
+         bench_fig8_timebomb_invaders bench_fig9_timebomb_pong \
+         bench_fig3_perturbation bench_fig4_cartpole_reward \
+         bench_fig6_pong_reward bench_fig7_transferability \
+         bench_micro_nn bench_table1_threat_model; do
+  echo "=== RUNNING build/bench/$b ===" >> bench_output.txt
+  "build/bench/$b" >> bench_output.txt 2>&1
+  echo "=== EXIT $? build/bench/$b ===" >> bench_output.txt
+done
+echo ALL_BENCHES_DONE >> bench_output.txt

@@ -1,0 +1,380 @@
+#include "rlattack/attack/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rlattack/nn/loss.hpp"
+#include "rlattack/util/stats.hpp"
+
+namespace rlattack::attack {
+
+namespace {
+
+/// Scales `delta` so its norm equals `budget.epsilon` (no-op on a zero
+/// vector).
+void scale_to_budget(nn::Tensor& delta, const Budget& budget) {
+  if (budget.norm == Budget::Norm::kL2) {
+    const double norm = util::l2_norm(delta.data());
+    if (norm <= 0.0) return;
+    delta *= static_cast<float>(budget.epsilon / norm);
+  } else {
+    const double norm = util::linf_norm(delta.data());
+    if (norm <= 0.0) return;
+    delta *= static_cast<float>(budget.epsilon / norm);
+  }
+}
+
+/// Projects `candidate` back into the budget ball around `origin`, then
+/// clamps to the observation bounds.
+void project(nn::Tensor& candidate, const nn::Tensor& origin,
+             const Budget& budget, env::ObservationBounds bounds) {
+  if (budget.norm == Budget::Norm::kLinf) {
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      candidate[i] = std::clamp(candidate[i], origin[i] - budget.epsilon,
+                                origin[i] + budget.epsilon);
+    }
+  } else {
+    nn::Tensor delta = candidate;
+    delta -= origin;
+    const double norm = util::l2_norm(delta.data());
+    if (norm > budget.epsilon && norm > 0.0) {
+      delta *= static_cast<float>(budget.epsilon / norm);
+      candidate = origin;
+      candidate += delta;
+    }
+  }
+  for (float& x : candidate.data())
+    x = std::clamp(x, bounds.low, bounds.high);
+}
+
+/// Resolves the loss anchor once, on the *clean* input: the action whose
+/// cross-entropy the attack ascends (untargeted, away from the clean
+/// prediction) or descends (targeted). Anchoring on the clean prediction —
+/// rather than re-evaluating per PGD step — keeps the iterate from
+/// oscillating back once the decision flips.
+struct Anchor {
+  std::size_t action = 0;
+  float sign = 1.0f;  ///< +1 ascend (untargeted), -1 descend (targeted)
+};
+
+Anchor resolve_anchor(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                      const Goal& goal) {
+  Anchor anchor;
+  if (goal.mode == Goal::Mode::kTargeted) {
+    anchor.action = goal.target_action;
+    anchor.sign = -1.0f;
+  } else {
+    const auto predicted = predict_actions(model, inputs);
+    if (goal.position >= predicted.size())
+      throw std::logic_error("Attack: goal position beyond output sequence");
+    anchor.action = predicted[goal.position];
+    anchor.sign = 1.0f;
+  }
+  return anchor;
+}
+
+/// Signed gradient step direction at `current_obs` for a fixed anchor.
+nn::Tensor crafting_direction(seq2seq::Seq2SeqModel& model,
+                              const CraftInputs& inputs, const Goal& goal,
+                              const Anchor& anchor,
+                              const nn::Tensor& current_obs) {
+  nn::Tensor grad = current_obs_gradient(model, inputs, goal.position,
+                                         anchor.action, current_obs);
+  grad *= anchor.sign;
+  return grad;
+}
+
+}  // namespace
+
+std::vector<std::size_t> predict_actions(seq2seq::Seq2SeqModel& model,
+                                         const CraftInputs& inputs) {
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    inputs.current_obs);
+  const std::size_t m = logits.dim(1), a = logits.dim(2);
+  std::vector<std::size_t> actions(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto row = logits.data().subspan(j * a, a);
+    actions[j] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return actions;
+}
+
+nn::Tensor current_obs_gradient(seq2seq::Seq2SeqModel& model,
+                                const CraftInputs& inputs,
+                                std::size_t position, std::size_t action,
+                                const nn::Tensor& current_obs) {
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    current_obs);
+  const std::size_t m = logits.dim(1);
+  if (position >= m)
+    throw std::logic_error("current_obs_gradient: position out of range");
+  // CE on the attacked position only; other rows get zero weight.
+  std::vector<std::size_t> targets(m, 0);
+  std::vector<float> weights(m, 0.0f);
+  targets[position] = action;
+  weights[position] = 1.0f;
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, targets, weights);
+  model.zero_grad();  // parameter grads are irrelevant here; keep them clean
+  auto grads = model.backward(loss.grad);
+  model.zero_grad();
+  return std::move(grads.current_obs);
+}
+
+nn::Tensor GaussianAttack::perturb(seq2seq::Seq2SeqModel& /*model*/,
+                                   const CraftInputs& inputs,
+                                   const Goal& /*goal*/, const Budget& budget,
+                                   env::ObservationBounds bounds,
+                                   util::Rng& rng) {
+  nn::Tensor delta(inputs.current_obs.shape());
+  for (float& x : delta.data()) x = rng.normal_f(0.0f, 1.0f);
+  scale_to_budget(delta, budget);
+  nn::Tensor out = inputs.current_obs;
+  out += delta;
+  for (float& x : out.data()) x = std::clamp(x, bounds.low, bounds.high);
+  return out;
+}
+
+nn::Tensor FgsmAttack::perturb(seq2seq::Seq2SeqModel& model,
+                               const CraftInputs& inputs, const Goal& goal,
+                               const Budget& budget,
+                               env::ObservationBounds bounds,
+                               util::Rng& /*rng*/) {
+  const Anchor anchor = resolve_anchor(model, inputs, goal);
+  nn::Tensor grad =
+      crafting_direction(model, inputs, goal, anchor, inputs.current_obs);
+  nn::Tensor delta(grad.shape());
+  if (budget.norm == Budget::Norm::kLinf) {
+    // Classic FGSM: epsilon * sign(grad).
+    for (std::size_t i = 0; i < grad.size(); ++i)
+      delta[i] = budget.epsilon * (grad[i] > 0.0f   ? 1.0f
+                                   : grad[i] < 0.0f ? -1.0f
+                                                    : 0.0f);
+  } else {
+    // L2 fast gradient method: epsilon * grad / ||grad||.
+    delta = grad;
+    scale_to_budget(delta, budget);
+  }
+  nn::Tensor out = inputs.current_obs;
+  out += delta;
+  for (float& x : out.data()) x = std::clamp(x, bounds.low, bounds.high);
+  return out;
+}
+
+PgdAttack::PgdAttack(std::size_t steps, float step_fraction)
+    : steps_(steps), step_fraction_(step_fraction) {
+  if (steps_ == 0) throw std::logic_error("PgdAttack: zero steps");
+  if (step_fraction_ <= 0.0f)
+    throw std::logic_error("PgdAttack: non-positive step fraction");
+}
+
+nn::Tensor PgdAttack::perturb(seq2seq::Seq2SeqModel& model,
+                              const CraftInputs& inputs, const Goal& goal,
+                              const Budget& budget,
+                              env::ObservationBounds bounds,
+                              util::Rng& /*rng*/) {
+  const Anchor anchor = resolve_anchor(model, inputs, goal);
+  nn::Tensor candidate = inputs.current_obs;
+  const float step_size = step_fraction_ * budget.epsilon;
+  Budget step_budget = budget;
+  step_budget.epsilon = step_size;
+  for (std::size_t it = 0; it < steps_; ++it) {
+    nn::Tensor grad =
+        crafting_direction(model, inputs, goal, anchor, candidate);
+    nn::Tensor step(grad.shape());
+    if (budget.norm == Budget::Norm::kLinf) {
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        step[i] = step_size * (grad[i] > 0.0f   ? 1.0f
+                               : grad[i] < 0.0f ? -1.0f
+                                                : 0.0f);
+    } else {
+      step = grad;
+      scale_to_budget(step, step_budget);
+    }
+    candidate += step;
+    project(candidate, inputs.current_obs, budget, bounds);
+  }
+  return candidate;
+}
+
+std::vector<float> position_logits(seq2seq::Seq2SeqModel& model,
+                                   const CraftInputs& inputs,
+                                   std::size_t position,
+                                   const nn::Tensor& current_obs) {
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    current_obs);
+  const std::size_t m = logits.dim(1), a = logits.dim(2);
+  if (position >= m)
+    throw std::logic_error("position_logits: position out of range");
+  auto row = logits.data().subspan(position * a, a);
+  return {row.begin(), row.end()};
+}
+
+nn::Tensor logit_diff_gradient(seq2seq::Seq2SeqModel& model,
+                               const CraftInputs& inputs,
+                               std::size_t position, std::size_t a,
+                               std::size_t b, const nn::Tensor& current_obs) {
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    current_obs);
+  const std::size_t m = logits.dim(1), actions = logits.dim(2);
+  if (position >= m || a >= actions || b >= actions)
+    throw std::logic_error("logit_diff_gradient: index out of range");
+  nn::Tensor grad_logits(logits.shape());
+  grad_logits[position * actions + a] = 1.0f;
+  grad_logits[position * actions + b] -= 1.0f;  // a == b yields zero grad
+  model.zero_grad();
+  auto grads = model.backward(grad_logits);
+  model.zero_grad();
+  return std::move(grads.current_obs);
+}
+
+CwAttack::CwAttack(std::size_t iterations, float c, float lr, float kappa)
+    : iterations_(iterations), c_(c), lr_(lr), kappa_(kappa) {
+  if (iterations_ == 0) throw std::logic_error("CwAttack: zero iterations");
+  if (lr_ <= 0.0f) throw std::logic_error("CwAttack: non-positive lr");
+}
+
+nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
+                             const CraftInputs& inputs, const Goal& goal,
+                             const Budget& budget,
+                             env::ObservationBounds bounds,
+                             util::Rng& /*rng*/) {
+  // Anchor on the clean prediction (untargeted) or the requested target.
+  const auto clean_pred = predict_actions(model, inputs);
+  if (goal.position >= clean_pred.size())
+    throw std::logic_error("CwAttack: goal position beyond output sequence");
+  const std::size_t anchor = goal.mode == Goal::Mode::kTargeted
+                                 ? goal.target_action
+                                 : clean_pred[goal.position];
+
+  nn::Tensor candidate = inputs.current_obs;
+  for (std::size_t it = 0; it < iterations_; ++it) {
+    const auto logits =
+        position_logits(model, inputs, goal.position, candidate);
+    // Best competing class to the anchor.
+    std::size_t best_other = anchor == 0 ? 1 : 0;
+    for (std::size_t j = 0; j < logits.size(); ++j)
+      if (j != anchor && logits[j] > logits[best_other]) best_other = j;
+    // Untargeted: want anchor to LOSE -> minimise (z_anchor - z_other).
+    // Targeted: want anchor (= target) to WIN -> minimise (z_other - z_anchor).
+    const float margin = goal.mode == Goal::Mode::kTargeted
+                             ? logits[best_other] - logits[anchor]
+                             : logits[anchor] - logits[best_other];
+    if (margin < -kappa_) break;  // already confidently flipped
+
+    nn::Tensor margin_grad =
+        goal.mode == Goal::Mode::kTargeted
+            ? logit_diff_gradient(model, inputs, goal.position, best_other,
+                                  anchor, candidate)
+            : logit_diff_gradient(model, inputs, goal.position, anchor,
+                                  best_other, candidate);
+    // Total objective gradient: 2 * delta + c * d margin.
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      const float delta = candidate[i] - inputs.current_obs[i];
+      candidate[i] -= lr_ * (2.0f * delta + c_ * margin_grad[i]);
+    }
+    project(candidate, inputs.current_obs, budget, bounds);
+  }
+  return candidate;
+}
+
+JsmaAttack::JsmaAttack(std::size_t max_features)
+    : max_features_(max_features) {
+  if (max_features_ == 0)
+    throw std::logic_error("JsmaAttack: zero max_features");
+}
+
+nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
+                               const CraftInputs& inputs, const Goal& goal,
+                               const Budget& budget,
+                               env::ObservationBounds bounds,
+                               util::Rng& /*rng*/) {
+  const auto clean_pred = predict_actions(model, inputs);
+  if (goal.position >= clean_pred.size())
+    throw std::logic_error("JsmaAttack: goal position beyond output sequence");
+  const std::size_t anchor = goal.mode == Goal::Mode::kTargeted
+                                 ? goal.target_action
+                                 : clean_pred[goal.position];
+
+  const std::size_t features =
+      std::min<std::size_t>(max_features_, inputs.current_obs.size());
+  // Per-feature step sized so the worst case exactly fills the budget.
+  const float theta =
+      budget.norm == Budget::Norm::kLinf
+          ? budget.epsilon
+          : budget.epsilon / std::sqrt(static_cast<float>(features));
+
+  nn::Tensor candidate = inputs.current_obs;
+  std::vector<bool> used(candidate.size(), false);
+  for (std::size_t round = 0; round < features; ++round) {
+    const auto logits =
+        position_logits(model, inputs, goal.position, candidate);
+    std::size_t best_other = anchor == 0 ? (logits.size() > 1 ? 1 : 0) : 0;
+    for (std::size_t j = 0; j < logits.size(); ++j)
+      if (j != anchor && logits[j] > logits[best_other]) best_other = j;
+    if (goal.mode == Goal::Mode::kUntargeted &&
+        logits[best_other] > logits[anchor])
+      break;  // prediction already flipped
+    if (goal.mode == Goal::Mode::kTargeted &&
+        logits[anchor] > logits[best_other])
+      break;  // target already dominant
+
+    // Saliency: increase (other - anchor) for untargeted flips, increase
+    // (anchor - other) for targeted forcing.
+    nn::Tensor saliency =
+        goal.mode == Goal::Mode::kTargeted
+            ? logit_diff_gradient(model, inputs, goal.position, anchor,
+                                  best_other, candidate)
+            : logit_diff_gradient(model, inputs, goal.position, best_other,
+                                  anchor, candidate);
+    std::size_t pick = candidate.size();
+    float best_mag = 0.0f;
+    for (std::size_t i = 0; i < saliency.size(); ++i) {
+      if (used[i]) continue;
+      const float mag = std::abs(saliency[i]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        pick = i;
+      }
+    }
+    if (pick == candidate.size() || best_mag == 0.0f) break;
+    used[pick] = true;
+    candidate[pick] += saliency[pick] > 0.0f ? theta : -theta;
+    project(candidate, inputs.current_obs, budget, bounds);
+  }
+  return candidate;
+}
+
+AttackPtr make_attack(Kind kind) {
+  switch (kind) {
+    case Kind::kGaussian: return std::make_unique<GaussianAttack>();
+    case Kind::kFgsm: return std::make_unique<FgsmAttack>();
+    case Kind::kPgd: return std::make_unique<PgdAttack>();
+    case Kind::kCw: return std::make_unique<CwAttack>();
+    case Kind::kJsma: return std::make_unique<JsmaAttack>();
+  }
+  throw std::logic_error("make_attack: invalid enum");
+}
+
+Kind parse_attack(const std::string& name) {
+  if (name == "gaussian" || name == "noise") return Kind::kGaussian;
+  if (name == "fgsm") return Kind::kFgsm;
+  if (name == "pgd") return Kind::kPgd;
+  if (name == "cw") return Kind::kCw;
+  if (name == "jsma") return Kind::kJsma;
+  throw std::invalid_argument("unknown attack: " + name);
+}
+
+std::string attack_name(Kind kind) {
+  switch (kind) {
+    case Kind::kGaussian: return "gaussian";
+    case Kind::kFgsm: return "fgsm";
+    case Kind::kPgd: return "pgd";
+    case Kind::kCw: return "cw";
+    case Kind::kJsma: return "jsma";
+  }
+  throw std::logic_error("attack_name: invalid enum");
+}
+
+}  // namespace rlattack::attack

@@ -1,0 +1,183 @@
+// Adversarial-sample crafting against the seq2seq approximator
+// (Section 4.4). All attacks perturb only the current observation s_t; the
+// histories A_{t-1}, S_{t-1} are read-only inputs, exactly matching the
+// threat model ("past states and target agent memory cannot be modified").
+//
+// Three attackers, in the paper's order of sophistication:
+//   - GaussianAttack: random jamming; uses no model information. The
+//     paper's headline methodological point is that this baseline is about
+//     as good as the gradient attacks at reducing reward.
+//   - FgsmAttack: one gradient step (Goodfellow et al. 2015), extended to
+//     the L2-ball variant so budgets are comparable across attacks.
+//   - PgdAttack: iterative projected gradient descent (Madry et al. 2018).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rlattack/env/environment.hpp"
+#include "rlattack/seq2seq/model.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack::attack {
+
+/// Perturbation budget: the norm ball the adversarial sample must stay in.
+struct Budget {
+  enum class Norm { kL2, kLinf };
+  Norm norm = Norm::kL2;
+  float epsilon = 0.5f;
+};
+
+/// What the attacker wants the victim's predicted action sequence to do.
+struct Goal {
+  enum class Mode {
+    kUntargeted,  ///< flip the action at `position` away from its prediction
+    kTargeted     ///< force `target_action` at `position` (time-bomb)
+  };
+  Mode mode = Mode::kUntargeted;
+  std::size_t position = 0;       ///< output-sequence index to attack
+  std::size_t target_action = 0;  ///< used by kTargeted
+};
+
+/// The crafting inputs: one rollout-FIFO snapshot, batch size 1.
+struct CraftInputs {
+  nn::Tensor action_history;  ///< [1, n, A]
+  nn::Tensor obs_history;     ///< [1, n, F]
+  nn::Tensor current_obs;     ///< [1, F]
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  Attack() = default;
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+
+  /// Returns the perturbed current observation (same shape as
+  /// inputs.current_obs), clamped to `bounds` and within `budget` of the
+  /// original.
+  virtual nn::Tensor perturb(seq2seq::Seq2SeqModel& model,
+                             const CraftInputs& inputs, const Goal& goal,
+                             const Budget& budget,
+                             env::ObservationBounds bounds,
+                             util::Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+/// Random Gaussian jamming scaled exactly to the budget (the baseline the
+/// paper argues all evaluations should include).
+class GaussianAttack final : public Attack {
+ public:
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng) override;
+  std::string name() const override { return "gaussian"; }
+};
+
+/// Single-step fast gradient attack: sign step for L-inf budgets, normalised
+/// gradient step for L2 budgets.
+class FgsmAttack final : public Attack {
+ public:
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng) override;
+  std::string name() const override { return "fgsm"; }
+};
+
+/// Iterative projected gradient descent with `steps` iterations of size
+/// `step_fraction * epsilon`, projecting back into the budget ball after
+/// every step.
+class PgdAttack final : public Attack {
+ public:
+  explicit PgdAttack(std::size_t steps = 7, float step_fraction = 0.3f);
+
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng) override;
+  std::string name() const override { return "pgd"; }
+
+  std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  std::size_t steps_;
+  float step_fraction_;
+};
+
+/// Carlini–Wagner-style attack (extension; Section 4.4 of the paper argues
+/// full CW is too slow for RL's thousands of per-episode decisions, so this
+/// is the practical budget-bounded variant): minimises
+///   ||delta||_2^2 + c * margin(x + delta)
+/// by Adam-style gradient descent on delta, where margin is the CW f6 loss
+/// on the attacked output position, then projects into the attack budget
+/// for comparability with the other attacks.
+class CwAttack final : public Attack {
+ public:
+  explicit CwAttack(std::size_t iterations = 20, float c = 1.0f,
+                    float lr = 0.05f, float kappa = 0.0f);
+
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng) override;
+  std::string name() const override { return "cw"; }
+
+ private:
+  std::size_t iterations_;
+  float c_;
+  float lr_;
+  float kappa_;
+};
+
+/// JSMA-style saliency attack (extension; Behzadan & Munir attack RL
+/// policies with JSMA in the paper's related work). Greedily perturbs the
+/// most salient input features one at a time — the saliency of feature i is
+/// the gradient of the (other - anchor) logit margin — changing at most
+/// `max_features` coordinates, then projects into the budget ball. Produces
+/// characteristically *sparse* perturbations, unlike FGSM/PGD's dense ones.
+class JsmaAttack final : public Attack {
+ public:
+  explicit JsmaAttack(std::size_t max_features = 8);
+
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng) override;
+  std::string name() const override { return "jsma"; }
+
+ private:
+  std::size_t max_features_;
+};
+
+/// Attack identifiers used across benches/tests.
+enum class Kind { kGaussian, kFgsm, kPgd, kCw, kJsma };
+AttackPtr make_attack(Kind kind);
+Kind parse_attack(const std::string& name);
+std::string attack_name(Kind kind);
+
+/// Runs the model on the inputs and returns the predicted action sequence
+/// (argmax per output step).
+std::vector<std::size_t> predict_actions(seq2seq::Seq2SeqModel& model,
+                                         const CraftInputs& inputs);
+
+/// d CE(logits[position], action) / d current_obs. The direction FGSM/PGD
+/// ascend (untargeted) or descend (targeted).
+nn::Tensor current_obs_gradient(seq2seq::Seq2SeqModel& model,
+                                const CraftInputs& inputs,
+                                std::size_t position, std::size_t action,
+                                const nn::Tensor& current_obs);
+
+/// Logits of the model at `current_obs` for output step `position`.
+std::vector<float> position_logits(seq2seq::Seq2SeqModel& model,
+                                   const CraftInputs& inputs,
+                                   std::size_t position,
+                                   const nn::Tensor& current_obs);
+
+/// d (z[position][a] - z[position][b]) / d current_obs — the CW margin
+/// gradient.
+nn::Tensor logit_diff_gradient(seq2seq::Seq2SeqModel& model,
+                               const CraftInputs& inputs,
+                               std::size_t position, std::size_t a,
+                               std::size_t b, const nn::Tensor& current_obs);
+
+}  // namespace rlattack::attack

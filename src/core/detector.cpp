@@ -1,0 +1,80 @@
+#include "rlattack/core/detector.hpp"
+
+#include <stdexcept>
+
+#include "rlattack/util/stats.hpp"
+
+namespace rlattack::core {
+
+StatefulDetector::StatefulDetector() : StatefulDetector(Config{}) {}
+
+StatefulDetector::StatefulDetector(Config config) : config_(config) {
+  if (config_.window == 0)
+    throw std::logic_error("StatefulDetector: zero window");
+  if (config_.alarm_flags == 0 || config_.alarm_flags > config_.window)
+    throw std::logic_error(
+        "StatefulDetector: alarm_flags must be in [1, window]");
+}
+
+void StatefulDetector::calibrate(
+    const std::vector<env::Episode>& clean_episodes) {
+  util::RunningStats stats;
+  for (const env::Episode& episode : clean_episodes) {
+    for (std::size_t t = 1; t < episode.steps.size(); ++t) {
+      nn::Tensor delta = episode.steps[t].observation;
+      delta -= episode.steps[t - 1].observation;
+      stats.add(util::l2_norm(delta.data()));
+    }
+  }
+  if (stats.count() < 2)
+    throw std::logic_error(
+        "StatefulDetector::calibrate: need at least two transitions");
+  calibrate(stats.mean(), stats.stddev());
+}
+
+void StatefulDetector::calibrate(double mean_delta_norm,
+                                 double stddev_delta_norm) {
+  if (stddev_delta_norm <= 0.0)
+    throw std::logic_error("StatefulDetector::calibrate: non-positive stddev");
+  mean_ = mean_delta_norm;
+  stddev_ = stddev_delta_norm;
+  calibrated_ = true;
+  reset();
+}
+
+void StatefulDetector::reset() {
+  has_previous_ = false;
+  recent_flags_.clear();
+  window_flags_ = 0;
+  total_flags_ = 0;
+  alarmed_ = false;
+}
+
+bool StatefulDetector::observe(const nn::Tensor& frame) {
+  if (!calibrated_)
+    throw std::logic_error("StatefulDetector::observe: not calibrated");
+  if (has_previous_) {
+    if (frame.size() != previous_frame_.size())
+      throw std::logic_error("StatefulDetector::observe: frame size changed");
+    nn::Tensor delta = frame;
+    delta -= previous_frame_;
+    const double z =
+        (util::l2_norm(delta.data()) - mean_) / stddev_;
+    const bool flag = z > config_.z_threshold;
+    recent_flags_.push_back(flag);
+    if (flag) {
+      ++window_flags_;
+      ++total_flags_;
+    }
+    if (recent_flags_.size() > config_.window) {
+      if (recent_flags_.front()) --window_flags_;
+      recent_flags_.pop_front();
+    }
+    if (window_flags_ >= config_.alarm_flags) alarmed_ = true;
+  }
+  previous_frame_ = frame.reshaped({frame.size()});
+  has_previous_ = true;
+  return alarmed_;
+}
+
+}  // namespace rlattack::core

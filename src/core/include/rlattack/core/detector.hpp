@@ -1,0 +1,70 @@
+// Stateful attack detection on the observation stream, in the spirit of
+// Chen et al. 2019 ("Stateful detection of black-box adversarial attacks",
+// the paper's reference [43]). The paper's argument for the time-bomb
+// attack is that "constantly injecting adversarial noise into the system
+// can easily trigger detection" — this detector makes that claim testable:
+// it alarms on every-step attacks but a single injected frame stays below
+// the alarm threshold.
+//
+// Mechanism: the L2 norm of consecutive-frame deltas is a stable statistic
+// of clean play; adversarial perturbations add dense noise energy to it.
+// The detector calibrates (mean, stddev) on clean episodes and raises a
+// flag whenever a step's delta-norm z-score exceeds `z_threshold`; it
+// alarms when at least `alarm_flags` of the last `window` steps were
+// flagged.
+#pragma once
+
+#include <deque>
+
+#include "rlattack/env/environment.hpp"
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::core {
+
+class StatefulDetector {
+ public:
+  struct Config {
+    std::size_t window = 20;
+    std::size_t alarm_flags = 5;  ///< flags within the window that alarm
+    double z_threshold = 3.0;
+  };
+
+  StatefulDetector();
+  explicit StatefulDetector(Config config);
+
+  /// Calibrates the clean-play delta-norm statistics from episode traces
+  /// (uses the recorded observations of each consecutive step pair).
+  void calibrate(const std::vector<env::Episode>& clean_episodes);
+
+  /// Manual calibration with known statistics.
+  void calibrate(double mean_delta_norm, double stddev_delta_norm);
+
+  bool calibrated() const noexcept { return calibrated_; }
+
+  /// Starts watching a fresh episode.
+  void reset();
+
+  /// Feeds the next delivered frame; returns true if the detector is in
+  /// the alarmed state after this frame. Requires calibration.
+  bool observe(const nn::Tensor& frame);
+
+  /// Flags raised over the episode so far / whether any alarm fired.
+  std::size_t flag_count() const noexcept { return total_flags_; }
+  bool alarmed() const noexcept { return alarmed_; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  bool calibrated_ = false;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  nn::Tensor previous_frame_;
+  bool has_previous_ = false;
+  std::deque<bool> recent_flags_;
+  std::size_t window_flags_ = 0;
+  std::size_t total_flags_ = 0;
+  bool alarmed_ = false;
+};
+
+}  // namespace rlattack::core

@@ -1,0 +1,65 @@
+// The rollout FIFO of Figure 2: records the attacker's observed playing
+// history so the seq2seq inputs (A_{t-1}, S_{t-1}, s_t) are always ready
+// once n steps have elapsed. Also the agent-side frame accumulator used by
+// the harness to deliver (possibly perturbed) stacked observations to the
+// victim.
+#pragma once
+
+#include <deque>
+
+#include "rlattack/attack/attack.hpp"
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::core {
+
+/// Fixed-depth FIFO of (frame, action) pairs. `full()` becomes true after n
+/// pushes; the first attack can start then (Figure 2: "our Black-box attack
+/// starts after n time steps when the rollout FIFO is full"), and stays
+/// possible every step thereafter.
+class RolloutFifo {
+ public:
+  RolloutFifo(std::size_t depth, std::size_t frame_size, std::size_t actions);
+
+  /// Records one observed step: the frame the victim received and the
+  /// action it took.
+  void push(const nn::Tensor& frame, std::size_t action);
+
+  bool full() const noexcept { return frames_.size() == depth_; }
+  std::size_t depth() const noexcept { return depth_; }
+  void clear();
+
+  /// Builds the crafting inputs for the current step. Requires full();
+  /// `current_frame` is s_t (flattened to [1, F]).
+  attack::CraftInputs crafting_inputs(const nn::Tensor& current_frame) const;
+
+ private:
+  std::size_t depth_, frame_size_, actions_;
+  std::deque<nn::Tensor> frames_;      // each [F]
+  std::deque<std::size_t> actions_hist_;
+};
+
+/// Agent-side frame stacking, mirrored in the harness so the attacker can
+/// perturb the newest frame while past stacked frames stay as delivered.
+class FrameAccumulator {
+ public:
+  FrameAccumulator(std::size_t depth, std::size_t frame_size);
+
+  /// Pushes the newest delivered frame and returns the stacked observation
+  /// [depth * F] reshaped to `obs_shape` by the caller if needed.
+  nn::Tensor push(const nn::Tensor& frame);
+
+  /// Stacked observation with the newest frame replaced (no state change);
+  /// used to evaluate "what would the victim do on the clean frame".
+  nn::Tensor peek_with(const nn::Tensor& frame) const;
+
+  void clear();
+  bool primed() const noexcept { return !frames_.empty(); }
+
+ private:
+  nn::Tensor concat() const;
+
+  std::size_t depth_, frame_size_;
+  std::deque<nn::Tensor> frames_;
+};
+
+}  // namespace rlattack::core

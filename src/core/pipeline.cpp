@@ -1,0 +1,139 @@
+#include "rlattack/core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rlattack/util/stats.hpp"
+
+namespace rlattack::core {
+
+AttackSession::AttackSession(rl::Agent& victim, env::Game game,
+                             seq2seq::Seq2SeqModel& model,
+                             attack::Attack& attack, attack::Budget budget)
+    : victim_(victim),
+      game_(game),
+      model_(model),
+      attack_(attack),
+      budget_(budget),
+      raw_env_(env::make_environment(game, /*seed=*/1)),
+      stack_depth_(env::agent_frame_stack(game)) {
+  frame_size_ = raw_env_->observation_size();
+  if (model_.config().frame_size() != frame_size_)
+    throw std::logic_error(
+        "AttackSession: model frame size does not match the game");
+  if (model_.config().actions != raw_env_->action_count())
+    throw std::logic_error(
+        "AttackSession: model action count does not match the game");
+  // Agent-side observation shape (stacked along channel 0 for images).
+  agent_obs_shape_ = raw_env_->observation_shape();
+  agent_obs_shape_[0] *= stack_depth_;
+}
+
+std::size_t AttackSession::output_steps() const {
+  return model_.config().output_steps;
+}
+
+EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
+                                          std::uint64_t episode_seed) {
+  raw_env_->seed(episode_seed);
+  util::Rng rng(episode_seed ^ 0x5bd1e995u);
+  RolloutFifo fifo(model_.config().input_steps, frame_size_,
+                   raw_env_->action_count());
+  FrameAccumulator accumulator(stack_depth_, frame_size_);
+  const env::ObservationBounds bounds = raw_env_->observation_bounds();
+
+  EpisodeOutcome outcome;
+  util::RunningStats l2_stats, linf_stats;
+  nn::Tensor frame = raw_env_->reset();
+  bool done = false;
+  bool single_fired = false;
+
+  while (!done) {
+    nn::Tensor delivered = frame;
+    const bool eligible = fifo.full();
+    bool attack_now = false;
+    switch (policy.mode) {
+      case AttackPolicy::Mode::kNone: break;
+      case AttackPolicy::Mode::kEveryStep:
+        attack_now = eligible && outcome.steps % std::max<std::size_t>(
+                                     1, policy.stride) == 0;
+        break;
+      case AttackPolicy::Mode::kSingleStep:
+        attack_now = eligible && !single_fired &&
+                     outcome.steps >= policy.trigger_step;
+        break;
+    }
+
+    std::size_t clean_action = 0;
+    if (attack_now) {
+      attack::CraftInputs inputs =
+          fifo.crafting_inputs(frame.reshaped({frame_size_}));
+      attack::Goal goal;
+      goal.mode = policy.goal_mode;
+      const std::size_t m = model_.config().output_steps;
+      goal.position = policy.random_position
+                          ? rng.uniform_int(m)
+                          : std::min(policy.position, m - 1);
+      if (goal.mode == attack::Goal::Mode::kTargeted) {
+        if (policy.runner_up_target) {
+          // Aim at the runner-up action of the prediction at the position:
+          // the easiest-to-reach wrong action.
+          nn::Tensor logits = model_.forward(
+              inputs.action_history, inputs.obs_history, inputs.current_obs);
+          const std::size_t a = logits.dim(2);
+          auto row = logits.data().subspan(goal.position * a, a);
+          std::size_t best = 0, second = (a > 1) ? 1 : 0;
+          if (row[second] > row[best]) std::swap(best, second);
+          for (std::size_t i = 2; i < a; ++i) {
+            if (row[i] > row[best]) {
+              second = best;
+              best = i;
+            } else if (row[i] > row[second]) {
+              second = i;
+            }
+          }
+          goal.target_action = second;
+        } else {
+          goal.target_action = policy.target_action;
+        }
+      }
+      nn::Tensor perturbed_flat = attack_.perturb(model_, inputs, goal,
+                                                  budget_, bounds, rng);
+      // Norm accounting on the realised (clamped) perturbation.
+      nn::Tensor delta = perturbed_flat;
+      delta -= inputs.current_obs;
+      l2_stats.add(util::l2_norm(delta.data()));
+      linf_stats.add(util::linf_norm(delta.data()));
+      // Victim's counterfactual action on the clean frame this step.
+      clean_action = victim_.act(
+          accumulator.peek_with(frame).reshaped(agent_obs_shape_), false);
+      delivered = perturbed_flat.reshaped(frame.shape());
+      ++outcome.attacks_attempted;
+      if (policy.mode == AttackPolicy::Mode::kSingleStep) {
+        single_fired = true;
+        outcome.fired_step = outcome.steps;
+      }
+    }
+
+    if (policy.record_frames) outcome.delivered_frames.push_back(delivered);
+    nn::Tensor stacked = accumulator.push(delivered);
+    const std::size_t action =
+        victim_.act(stacked.reshaped(agent_obs_shape_), false);
+    if (attack_now && action != clean_action) ++outcome.immediate_flips;
+
+    fifo.push(delivered.reshaped({frame_size_}), action);
+    outcome.actions.push_back(action);
+
+    env::StepResult sr = raw_env_->step(action);
+    outcome.total_reward += sr.reward;
+    ++outcome.steps;
+    done = sr.done;
+    frame = std::move(sr.observation);
+  }
+
+  outcome.mean_l2 = l2_stats.count() > 0 ? l2_stats.mean() : 0.0;
+  outcome.mean_linf = linf_stats.count() > 0 ? linf_stats.mean() : 0.0;
+  return outcome;
+}
+
+}  // namespace rlattack::core

@@ -1,0 +1,97 @@
+#include "rlattack/core/rollout_fifo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlattack::core {
+
+RolloutFifo::RolloutFifo(std::size_t depth, std::size_t frame_size,
+                         std::size_t actions)
+    : depth_(depth), frame_size_(frame_size), actions_(actions) {
+  if (depth_ == 0) throw std::logic_error("RolloutFifo: zero depth");
+  if (frame_size_ == 0 || actions_ == 0)
+    throw std::logic_error("RolloutFifo: zero frame size or action count");
+}
+
+void RolloutFifo::push(const nn::Tensor& frame, std::size_t action) {
+  if (frame.size() != frame_size_)
+    throw std::logic_error("RolloutFifo::push: frame size mismatch");
+  if (action >= actions_)
+    throw std::logic_error("RolloutFifo::push: action out of range");
+  frames_.push_back(frame.reshaped({frame_size_}));
+  actions_hist_.push_back(action);
+  if (frames_.size() > depth_) {
+    frames_.pop_front();
+    actions_hist_.pop_front();
+  }
+}
+
+void RolloutFifo::clear() {
+  frames_.clear();
+  actions_hist_.clear();
+}
+
+attack::CraftInputs RolloutFifo::crafting_inputs(
+    const nn::Tensor& current_frame) const {
+  if (!full())
+    throw std::logic_error("RolloutFifo::crafting_inputs: FIFO not full");
+  if (current_frame.size() != frame_size_)
+    throw std::logic_error(
+        "RolloutFifo::crafting_inputs: current frame size mismatch");
+  attack::CraftInputs inputs;
+  inputs.action_history = nn::Tensor({1, depth_, actions_});
+  inputs.obs_history = nn::Tensor({1, depth_, frame_size_});
+  inputs.current_obs = current_frame.reshaped({1, frame_size_});
+  for (std::size_t i = 0; i < depth_; ++i) {
+    inputs.action_history.at3(0, i, actions_hist_[i]) = 1.0f;
+    auto dst = inputs.obs_history.data().subspan(i * frame_size_, frame_size_);
+    auto src = frames_[i].data();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return inputs;
+}
+
+FrameAccumulator::FrameAccumulator(std::size_t depth, std::size_t frame_size)
+    : depth_(depth), frame_size_(frame_size) {
+  if (depth_ == 0) throw std::logic_error("FrameAccumulator: zero depth");
+}
+
+nn::Tensor FrameAccumulator::concat() const {
+  nn::Tensor out({depth_ * frame_size_});
+  std::size_t offset = 0;
+  for (const nn::Tensor& f : frames_) {
+    std::copy(f.data().begin(), f.data().end(), out.data().begin() + offset);
+    offset += frame_size_;
+  }
+  return out;
+}
+
+nn::Tensor FrameAccumulator::push(const nn::Tensor& frame) {
+  if (frame.size() != frame_size_)
+    throw std::logic_error("FrameAccumulator::push: frame size mismatch");
+  nn::Tensor flat = frame.reshaped({frame_size_});
+  if (frames_.empty()) {
+    // Prime the whole stack with the first frame, as FrameStack::reset does.
+    for (std::size_t i = 0; i < depth_; ++i) frames_.push_back(flat);
+  } else {
+    frames_.pop_front();
+    frames_.push_back(std::move(flat));
+  }
+  return concat();
+}
+
+nn::Tensor FrameAccumulator::peek_with(const nn::Tensor& frame) const {
+  if (frame.size() != frame_size_)
+    throw std::logic_error("FrameAccumulator::peek_with: frame size mismatch");
+  if (frames_.empty())
+    throw std::logic_error("FrameAccumulator::peek_with: not primed");
+  nn::Tensor out = concat();
+  auto src = frame.data();
+  std::copy(src.begin(), src.end(),
+            out.data().begin() + (depth_ - 1) * frame_size_);
+  return out;
+}
+
+void FrameAccumulator::clear() { frames_.clear(); }
+
+}  // namespace rlattack::core

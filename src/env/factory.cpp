@@ -1,0 +1,50 @@
+#include "rlattack/env/factory.hpp"
+
+#include <stdexcept>
+
+#include "rlattack/env/cartpole.hpp"
+#include "rlattack/env/frame_stack.hpp"
+#include "rlattack/env/mini_invaders.hpp"
+#include "rlattack/env/mini_pong.hpp"
+
+namespace rlattack::env {
+
+Game parse_game(const std::string& name) {
+  if (name == "cartpole") return Game::kCartPole;
+  if (name == "mini_pong" || name == "pong") return Game::kMiniPong;
+  if (name == "mini_invaders" || name == "invaders")
+    return Game::kMiniInvaders;
+  throw std::invalid_argument("unknown game: " + name);
+}
+
+std::string game_name(Game game) {
+  switch (game) {
+    case Game::kCartPole: return "cartpole";
+    case Game::kMiniPong: return "mini_pong";
+    case Game::kMiniInvaders: return "mini_invaders";
+  }
+  throw std::logic_error("game_name: invalid enum");
+}
+
+EnvPtr make_environment(Game game, std::uint64_t seed) {
+  switch (game) {
+    case Game::kCartPole: return std::make_unique<CartPole>(CartPole::Config{}, seed);
+    case Game::kMiniPong: return std::make_unique<MiniPong>(MiniPong::Config{}, seed);
+    case Game::kMiniInvaders:
+      return std::make_unique<MiniInvaders>(MiniInvaders::Config{}, seed);
+  }
+  throw std::logic_error("make_environment: invalid enum");
+}
+
+std::size_t agent_frame_stack(Game game) {
+  return game == Game::kCartPole ? 1 : 2;
+}
+
+EnvPtr make_agent_environment(Game game, std::uint64_t seed) {
+  EnvPtr raw = make_environment(game, seed);
+  const std::size_t k = agent_frame_stack(game);
+  if (k == 1) return raw;
+  return std::make_unique<FrameStack>(std::move(raw), k);
+}
+
+}  // namespace rlattack::env

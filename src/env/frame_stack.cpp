@@ -1,0 +1,63 @@
+#include "rlattack/env/frame_stack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlattack::env {
+
+FrameStack::FrameStack(EnvPtr inner, std::size_t k)
+    : inner_(std::move(inner)), k_(k) {
+  if (!inner_) throw std::logic_error("FrameStack: null environment");
+  if (k_ == 0) throw std::logic_error("FrameStack: k must be >= 1");
+}
+
+std::vector<std::size_t> FrameStack::observation_shape() const {
+  auto shape = inner_->observation_shape();
+  shape[0] *= k_;  // stack along channels (or along the single vector dim)
+  return shape;
+}
+
+nn::Tensor FrameStack::stacked() const {
+  auto shape = observation_shape();
+  nn::Tensor out(shape);
+  std::size_t offset = 0;
+  for (const auto& frame : frames_) {
+    auto src = frame.data();
+    std::copy(src.begin(), src.end(), out.data().begin() + offset);
+    offset += frame.size();
+  }
+  return out;
+}
+
+nn::Tensor FrameStack::with_current_frame(const nn::Tensor& frame) const {
+  if (frames_.empty())
+    throw std::logic_error("FrameStack::with_current_frame: call reset first");
+  if (frame.size() != frames_.back().size())
+    throw std::logic_error(
+        "FrameStack::with_current_frame: frame size mismatch");
+  nn::Tensor out = stacked();
+  auto src = frame.data();
+  const std::size_t offset = out.size() - frame.size();
+  std::copy(src.begin(), src.end(), out.data().begin() + offset);
+  return out;
+}
+
+nn::Tensor FrameStack::reset() {
+  nn::Tensor first = inner_->reset();
+  frames_.clear();
+  for (std::size_t i = 0; i < k_; ++i) frames_.push_back(first);
+  return stacked();
+}
+
+StepResult FrameStack::step(std::size_t action) {
+  StepResult inner_result = inner_->step(action);
+  frames_.pop_front();
+  frames_.push_back(std::move(inner_result.observation));
+  StepResult result;
+  result.observation = stacked();
+  result.reward = inner_result.reward;
+  result.done = inner_result.done;
+  return result;
+}
+
+}  // namespace rlattack::env

@@ -1,0 +1,31 @@
+// Name-based environment construction, shared by examples, tests and bench
+// binaries: "cartpole", "mini_pong", "mini_invaders".
+#pragma once
+
+#include <string>
+
+#include "rlattack/env/environment.hpp"
+
+namespace rlattack::env {
+
+/// Game identifiers matching the paper's three targets.
+enum class Game { kCartPole, kMiniPong, kMiniInvaders };
+
+/// Parses a game name; throws std::invalid_argument on unknown names.
+Game parse_game(const std::string& name);
+
+/// The canonical display name ("cartpole", "mini_pong", "mini_invaders").
+std::string game_name(Game game);
+
+/// Builds the raw (unstacked) environment with default configuration.
+EnvPtr make_environment(Game game, std::uint64_t seed);
+
+/// Builds the environment the agents actually consume: image games are
+/// wrapped in a 2-frame FrameStack so motion is observable; CartPole's
+/// state already contains velocities and stays unwrapped.
+EnvPtr make_agent_environment(Game game, std::uint64_t seed);
+
+/// Frame-stack depth used by make_agent_environment for this game.
+std::size_t agent_frame_stack(Game game);
+
+}  // namespace rlattack::env

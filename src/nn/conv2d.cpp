@@ -1,0 +1,233 @@
+#include "rlattack/nn/conv2d.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "rlattack/nn/init.hpp"
+
+namespace rlattack::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               util::Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel, kernel}),
+      grad_bias_({out_channels}) {
+  if (kernel == 0 || stride == 0)
+    throw std::logic_error("Conv2D: kernel and stride must be >= 1");
+  he_uniform(weight_, in_c_ * k_ * k_, rng);
+}
+
+std::size_t Conv2D::out_extent(std::size_t in_extent) const {
+  const std::size_t padded = in_extent + 2 * pad_;
+  if (padded < k_)
+    throw std::logic_error("Conv2D: input smaller than kernel");
+  return (padded - k_) / stride_ + 1;
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_)
+    throw std::logic_error("Conv2D::forward: expected [B, " +
+                           std::to_string(in_c_) + ", H, W], got " +
+                           input.shape_string());
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  Tensor out({batch, out_c_, oh, ow});
+
+  const float* x = input.raw();
+  const float* wt = weight_.raw();
+  float* y = out.raw();
+  const auto in_plane = h * w;
+  const auto out_plane = oh * ow;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* yplane = y + (b * out_c_ + oc) * out_plane;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_[oc];
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* xplane = x + (b * in_c_ + ic) * in_plane;
+            const float* wrow = wt + ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += wrow[ky * k_ + kx] *
+                       xplane[static_cast<std::size_t>(iy) * w +
+                              static_cast<std::size_t>(ix)];
+              }
+            }
+          }
+          yplane[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0), h = cached_input_.dim(2),
+                    w = cached_input_.dim(3);
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  if (grad_output.rank() != 4 || grad_output.dim(0) != batch ||
+      grad_output.dim(1) != out_c_ || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow)
+    throw std::logic_error("Conv2D::backward: gradient shape mismatch " +
+                           grad_output.shape_string());
+
+  Tensor grad_input({batch, in_c_, h, w});
+  const float* x = cached_input_.raw();
+  const float* wt = weight_.raw();
+  const float* g = grad_output.raw();
+  float* gx = grad_input.raw();
+  float* gw = grad_weight_.raw();
+  const auto in_plane = h * w;
+  const auto out_plane = oh * ow;
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* gplane = g + (b * out_c_ + oc) * out_plane;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float go = gplane[oy * ow + ox];
+          if (go == 0.0f) continue;
+          grad_bias_[oc] += go;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* xplane = x + (b * in_c_ + ic) * in_plane;
+            float* gxplane = gx + (b * in_c_ + ic) * in_plane;
+            const std::size_t wbase = ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t xi = static_cast<std::size_t>(iy) * w +
+                                       static_cast<std::size_t>(ix);
+                gw[wbase + ky * k_ + kx] += go * xplane[xi];
+                gxplane[xi] += go * wt[wbase + ky * k_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv2D::params() {
+  return {{&weight_, &grad_weight_, "conv.weight"},
+          {&bias_, &grad_bias_, "conv.bias"}};
+}
+
+MaxPool2D::MaxPool2D(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride) {
+  if (window == 0 || stride == 0)
+    throw std::logic_error("MaxPool2D: window and stride must be >= 1");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input) {
+  if (input.rank() != 4)
+    throw std::logic_error("MaxPool2D::forward: expected [B, C, H, W], got " +
+                           input.shape_string());
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  if (h < window_ || w < window_)
+    throw std::logic_error("MaxPool2D: input smaller than window");
+  const std::size_t oh = (h - window_) / stride_ + 1;
+  const std::size_t ow = (w - window_) / stride_ + 1;
+  Tensor out({batch, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+
+  const float* x = input.raw();
+  float* y = out.raw();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x + (b * c + ch) * h * w;
+      const std::size_t plane_base = (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t idx =
+                  (oy * stride_ + ky) * w + (ox * stride_ + kx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = plane_base + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size())
+    throw std::logic_error("MaxPool2D::backward: gradient size mismatch");
+  Tensor grad_input(cached_input_.shape());
+  const float* g = grad_output.raw();
+  float* gx = grad_input.raw();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gx[argmax_[i]] += g[i];
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  if (input.rank() <= 1) return input;
+  std::size_t rest = 1;
+  for (std::size_t d = 1; d < input.rank(); ++d) rest *= input.dim(d);
+  return input.reshaped({input.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+Reshape::Reshape(std::vector<std::size_t> item_shape)
+    : item_shape_(std::move(item_shape)) {
+  if (item_shape_.empty())
+    throw std::logic_error("Reshape: empty item shape");
+}
+
+Tensor Reshape::forward(const Tensor& input) {
+  if (input.rank() < 1)
+    throw std::logic_error("Reshape::forward: rank-0 input");
+  cached_shape_ = input.shape();
+  std::vector<std::size_t> out{input.dim(0)};
+  out.insert(out.end(), item_shape_.begin(), item_shape_.end());
+  return input.reshaped(std::move(out));
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,86 @@
+#include "rlattack/nn/dense.hpp"
+
+#include <stdexcept>
+
+#include "rlattack/nn/init.hpp"
+
+namespace rlattack::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+             bool relu_fan_in)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  if (in_ == 0 || out_ == 0)
+    throw std::logic_error("Dense: zero-sized feature dimension");
+  if (relu_fan_in)
+    he_uniform(weight_, in_, rng);
+  else
+    xavier_uniform(weight_, in_, out_, rng);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  input_was_rank1_ = input.rank() == 1;
+  Tensor x = input_was_rank1_ ? input.reshaped({1, input.size()}) : input;
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::logic_error("Dense::forward: expected [B, " +
+                           std::to_string(in_) + "], got " +
+                           input.shape_string());
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y({batch, out_});
+  const float* wd = weight_.raw();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xb = x.raw() + b * in_;
+    float* yb = y.raw() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wrow = wd + o * in_;
+      float acc = bias_[o];
+      for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xb[i];
+      yb[o] = acc;
+    }
+  }
+  if (input_was_rank1_) return y.reshaped({out_});
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  Tensor g = grad_output.rank() == 1
+                 ? grad_output.reshaped({1, grad_output.size()})
+                 : grad_output;
+  if (g.rank() != 2 || g.dim(1) != out_ ||
+      g.dim(0) != cached_input_.dim(0))
+    throw std::logic_error("Dense::backward: gradient shape mismatch " +
+                           grad_output.shape_string());
+  const std::size_t batch = g.dim(0);
+  Tensor grad_input({batch, in_});
+  const float* wd = weight_.raw();
+  float* gw = grad_weight_.raw();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* gb = g.raw() + b * out_;
+    const float* xb = cached_input_.raw() + b * in_;
+    float* gi = grad_input.raw() + b * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float go = gb[o];
+      grad_bias_[o] += go;
+      const float* wrow = wd + o * in_;
+      float* gwrow = gw + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        gwrow[i] += go * xb[i];
+        gi[i] += go * wrow[i];
+      }
+    }
+  }
+  if (input_was_rank1_) return grad_input.reshaped({in_});
+  return grad_input;
+}
+
+std::vector<Param> Dense::params() {
+  return {{&weight_, &grad_weight_, "dense.weight"},
+          {&bias_, &grad_bias_, "dense.bias"}};
+}
+
+}  // namespace rlattack::nn

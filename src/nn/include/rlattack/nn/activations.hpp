@@ -1,0 +1,42 @@
+// Elementwise activation layers. Shape-preserving; cache what the backward
+// pass needs (pre-activations or outputs).
+#pragma once
+
+#include "rlattack/nn/layer.hpp"
+
+namespace rlattack::nn {
+
+/// Rectified linear unit: y = max(0, x).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;  // tanh' = 1 - y^2, so caching y is enough
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace rlattack::nn

@@ -1,0 +1,20 @@
+// Weight initialisation schemes. All take an explicit Rng for determinism.
+#pragma once
+
+#include "rlattack/nn/tensor.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suits tanh/sigmoid gates (LSTM) and output layers.
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng);
+
+/// He/Kaiming uniform: U(-a, a) with a = sqrt(6 / fan_in). Suits ReLU.
+void he_uniform(Tensor& w, std::size_t fan_in, util::Rng& rng);
+
+/// Uniform in [-bound, bound].
+void uniform_init(Tensor& w, float bound, util::Rng& rng);
+
+}  // namespace rlattack::nn

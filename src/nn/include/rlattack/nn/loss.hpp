@@ -1,0 +1,48 @@
+// Loss functions. Each returns the scalar loss and writes the gradient with
+// respect to the logits/predictions, ready to feed into Layer::backward.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  ///< d loss / d input, same shape as the loss input
+};
+
+/// Fused softmax + cross-entropy over the last dimension.
+///
+/// `logits` is [B, C] or [B, T, C]; `targets` is the flat list of class
+/// indices, row-major over all leading dimensions (size B or B*T). Loss is
+/// averaged over all rows. `row_weights` (optional, same length as targets)
+/// scales each row's contribution — the time-bomb attack uses it to target
+/// a single position of the output sequence.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& targets,
+                                 const std::vector<float>& row_weights = {});
+
+/// Per-row prediction accuracy under the same flattening convention.
+double classification_accuracy(const Tensor& logits,
+                               const std::vector<std::size_t>& targets);
+
+/// Mean squared error against a dense target tensor of identical shape.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Huber (smooth-L1) loss with threshold `delta`, elementwise mean; the
+/// standard DQN regression loss.
+LossResult huber_loss(const Tensor& pred, const Tensor& target,
+                      float delta = 1.0f);
+
+/// Masked Huber loss for Q-learning: only the (row, action) entries listed
+/// contribute; other logits receive zero gradient. `pred` is [B, C];
+/// `actions` and `td_targets` have length B.
+LossResult q_learning_loss(const Tensor& pred,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<float>& td_targets,
+                           float delta = 1.0f);
+
+}  // namespace rlattack::nn

@@ -1,0 +1,38 @@
+// NoisyNet linear layer (Fortunato et al. 2018) with factorised Gaussian
+// noise; one of Rainbow's components. In training mode the effective weight
+// is mu + sigma * eps; in evaluation mode only mu is used, which matches the
+// paper's assumption that victim agents run with exploration turned off.
+#pragma once
+
+#include "rlattack/nn/layer.hpp"
+
+namespace rlattack::nn {
+
+class NoisyDense final : public Layer {
+ public:
+  NoisyDense(std::size_t in_features, std::size_t out_features,
+             util::Rng& rng, float sigma0 = 0.5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "NoisyDense"; }
+  void set_training(bool training) override { training_ = training; }
+  void resample_noise(util::Rng& rng) override;
+
+ private:
+  /// Factorised noise shaping function f(x) = sign(x) * sqrt(|x|).
+  static float shape_noise(float x) noexcept;
+
+  std::size_t in_, out_;
+  Tensor w_mu_, w_sigma_;  // [out, in]
+  Tensor b_mu_, b_sigma_;  // [out]
+  Tensor gw_mu_, gw_sigma_, gb_mu_, gb_sigma_;
+  Tensor eps_in_;   // [in]
+  Tensor eps_out_;  // [out]
+  Tensor cached_input_;
+  bool training_ = true;
+  bool input_was_rank1_ = false;
+};
+
+}  // namespace rlattack::nn

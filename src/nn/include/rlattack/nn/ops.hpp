@@ -1,0 +1,32 @@
+// Free-function tensor operations used outside the layer graph: softmax,
+// argmax, one-hot encoding, clipping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::nn {
+
+/// Numerically stable softmax over the last dimension, in place.
+void softmax_last_dim(Tensor& t);
+
+/// Index of the maximum element of a span (first on ties).
+std::size_t argmax(std::span<const float> v);
+
+/// Row-wise argmax of a [B, C] tensor.
+std::vector<std::size_t> argmax_rows(const Tensor& t);
+
+/// One-hot encodes `index` into a length-`classes` vector.
+Tensor one_hot(std::size_t index, std::size_t classes);
+
+/// Elementwise clamp, in place.
+void clamp_(Tensor& t, float lo, float hi);
+
+/// Global L2 norm across a set of gradient tensors; used for gradient-norm
+/// clipping in the RL trainers.
+double global_grad_norm(std::span<const Tensor* const> grads);
+
+}  // namespace rlattack::nn

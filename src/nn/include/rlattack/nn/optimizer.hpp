@@ -1,0 +1,80 @@
+// First-order optimizers over a layer's parameter set. The optimizer binds
+// to the Param views at construction; the owning layer must outlive it and
+// must not be moved afterwards.
+#pragma once
+
+#include <vector>
+
+#include "rlattack/nn/layer.hpp"
+
+namespace rlattack::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(Layer& model) : params_(model.params()) {}
+  /// Binds to an explicit parameter set (for multi-input models that are
+  /// not a single Layer, e.g. the seq2seq approximator).
+  explicit Optimizer(std::vector<Param> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step() {
+    apply();
+    zero_grad();
+  }
+
+  /// Zeroes every bound gradient tensor.
+  void zero_grad() {
+    for (Param& p : params_) p.grad->zero();
+  }
+
+  /// Scales all gradients so their global L2 norm is at most `max_norm`.
+  void clip_grad_norm(float max_norm);
+
+ protected:
+  virtual void apply() = 0;
+  std::vector<Param>& params() noexcept { return params_; }
+
+ private:
+  std::vector<Param> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+/// The paper trains seq2seq approximators with SGD, lr = 1e-4.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(Layer& model, float lr, float momentum = 0.0f);
+  Sgd(std::vector<Param> params, float lr, float momentum = 0.0f);
+
+  float learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+
+ private:
+  void apply() override;
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015); used by the RL trainers.
+class Adam final : public Optimizer {
+ public:
+  Adam(Layer& model, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  Adam(std::vector<Param> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  float learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+
+ private:
+  void apply() override;
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace rlattack::nn

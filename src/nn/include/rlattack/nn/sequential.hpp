@@ -1,0 +1,67 @@
+// Sequential container and the TimeDistributed adapter.
+#pragma once
+
+#include <memory>
+
+#include "rlattack/nn/layer.hpp"
+
+namespace rlattack::nn {
+
+/// Ordered chain of layers. forward runs layers first-to-last; backward runs
+/// last-to-first and returns the gradient with respect to the chain input.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for fluent construction.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: constructs L in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "Sequential"; }
+  void set_training(bool training) override;
+  void resample_noise(util::Rng& rng) override;
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Applies an inner layer independently at every timestep of a [B, T, ...]
+/// tensor by folding time into the batch dimension: [B, T, ...] ->
+/// [B*T, ...] -> inner -> [B*T, F'] -> [B, T, F'].
+///
+/// This is how the per-frame convolutional stack of the seq2seq observation
+/// head (Table 2: "6 Conv, ... ") is applied to an image *sequence* before
+/// the LSTMs.
+class TimeDistributed final : public Layer {
+ public:
+  /// `inner_input_shape` is the per-step shape (without batch), e.g.
+  /// {1, 16, 16} for single-channel frames fed to a Conv2D stack.
+  TimeDistributed(LayerPtr inner, std::vector<std::size_t> inner_input_shape);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override { return inner_->params(); }
+  std::string name() const override { return "TimeDistributed"; }
+  void set_training(bool training) override { inner_->set_training(training); }
+  void resample_noise(util::Rng& rng) override { inner_->resample_noise(rng); }
+
+ private:
+  LayerPtr inner_;
+  std::vector<std::size_t> inner_shape_;
+  std::vector<std::size_t> cached_input_shape_;
+  std::size_t cached_batch_ = 0;
+  std::size_t cached_steps_ = 0;
+};
+
+}  // namespace rlattack::nn

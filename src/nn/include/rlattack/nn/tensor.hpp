@@ -1,0 +1,114 @@
+// Dense row-major float tensor. The single value type every layer, loss and
+// optimizer in rlattack operates on.
+//
+// Design notes:
+//  - Shapes are small vectors of extents; rank is dynamic (rank 1..4 in
+//    practice: vectors, [B,F] matrices, [B,T,F] sequences, [B,C,H,W] images).
+//  - Data is always float32; the experiments in the paper do not need mixed
+//    precision, and a single dtype keeps the backprop code honest.
+//  - Value semantics: Tensor is copyable/movable; layers cache copies of the
+//    activations they need for the backward pass.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rlattack::nn {
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Zero-initialised tensor with the given shape. Every extent must be > 0.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  /// Tensor with explicit contents; data.size() must equal the shape product.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Extent of dimension `dim`; throws std::logic_error if out of range.
+  std::size_t dim(std::size_t d) const {
+    if (d >= shape_.size()) throw std::logic_error("Tensor::dim: out of range");
+    return shape_[d];
+  }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked flat access.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// 2-D indexed access for [rows, cols] tensors (no bounds check beyond
+  /// debug asserts; hot path).
+  float& at2(std::size_t r, std::size_t c) noexcept {
+    return data_[r * shape_[1] + c];
+  }
+  float at2(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 3-D indexed access for [B, T, F] tensors.
+  float& at3(std::size_t b, std::size_t t, std::size_t f) noexcept {
+    return data_[(b * shape_[1] + t) * shape_[2] + f];
+  }
+  float at3(std::size_t b, std::size_t t, std::size_t f) const noexcept {
+    return data_[(b * shape_[1] + t) * shape_[2] + f];
+  }
+
+  /// Reinterprets the tensor with a new shape of equal element count.
+  /// Throws std::logic_error on element-count mismatch.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// In-place fill.
+  void fill(float value) noexcept;
+  /// Sets every element to zero (grad reset).
+  void zero() noexcept { fill(0.0f); }
+
+  /// Elementwise in-place operations; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar) noexcept;
+
+  /// True when shapes are identical (same rank and extents).
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  /// "[2, 3, 4]" — for error messages.
+  std::string shape_string() const;
+
+  /// Convenience constructors.
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor from_vector(std::vector<float> v) {
+    const std::size_t n = v.size();
+    return Tensor({n}, std::move(v));
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::size_t shape_numel(const std::vector<std::size_t>& shape);
+
+}  // namespace rlattack::nn

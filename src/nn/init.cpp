@@ -1,0 +1,22 @@
+#include "rlattack/nn/init.hpp"
+
+#include <cmath>
+
+namespace rlattack::nn {
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  uniform_init(w, a, rng);
+}
+
+void he_uniform(Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in));
+  uniform_init(w, a, rng);
+}
+
+void uniform_init(Tensor& w, float bound, util::Rng& rng) {
+  for (float& x : w.data()) x = rng.uniform_f(-bound, bound);
+}
+
+}  // namespace rlattack::nn

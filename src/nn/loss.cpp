@@ -1,0 +1,150 @@
+#include "rlattack/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlattack::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& targets,
+                                 const std::vector<float>& row_weights) {
+  if (logits.rank() < 2)
+    throw std::logic_error("softmax_cross_entropy: expected rank >= 2");
+  const std::size_t classes = logits.dim(logits.rank() - 1);
+  const std::size_t rows = logits.size() / classes;
+  if (targets.size() != rows)
+    throw std::logic_error("softmax_cross_entropy: target count mismatch");
+  if (!row_weights.empty() && row_weights.size() != rows)
+    throw std::logic_error("softmax_cross_entropy: weight count mismatch");
+
+  LossResult out;
+  out.grad = Tensor(logits.shape());
+  const float* in = logits.raw();
+  float* g = out.grad.raw();
+  double total = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float rw = row_weights.empty() ? 1.0f : row_weights[r];
+    weight_sum += rw;
+  }
+  if (weight_sum <= 0.0)
+    throw std::logic_error("softmax_cross_entropy: zero total weight");
+  const float inv_weight = static_cast<float>(1.0 / weight_sum);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t target = targets[r];
+    if (target >= classes)
+      throw std::logic_error("softmax_cross_entropy: target out of range");
+    const float rw = row_weights.empty() ? 1.0f : row_weights[r];
+    const float* row = in + r * classes;
+    float* grow = g + r * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      sum += std::exp(static_cast<double>(row[c] - mx));
+    const double log_sum = std::log(sum);
+    total +=
+        rw * (log_sum - static_cast<double>(row[target] - mx));
+    if (rw != 0.0f) {
+      for (std::size_t c = 0; c < classes; ++c) {
+        const float p = static_cast<float>(
+            std::exp(static_cast<double>(row[c] - mx)) / sum);
+        grow[c] = rw * inv_weight * (p - (c == target ? 1.0f : 0.0f));
+      }
+    }
+  }
+  out.loss = static_cast<float>(total / weight_sum);
+  return out;
+}
+
+double classification_accuracy(const Tensor& logits,
+                               const std::vector<std::size_t>& targets) {
+  if (logits.rank() < 2)
+    throw std::logic_error("classification_accuracy: expected rank >= 2");
+  const std::size_t classes = logits.dim(logits.rank() - 1);
+  const std::size_t rows = logits.size() / classes;
+  if (targets.size() != rows)
+    throw std::logic_error("classification_accuracy: target count mismatch");
+  std::size_t correct = 0;
+  const float* in = logits.raw();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = in + r * classes;
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(row, row + classes) - row);
+    if (pred == targets[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows);
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  if (!pred.same_shape(target))
+    throw std::logic_error("mse_loss: shape mismatch");
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  const std::size_t n = pred.size();
+  const float scale = 2.0f / static_cast<float>(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    total += static_cast<double>(d) * static_cast<double>(d);
+    out.grad[i] = scale * d;
+  }
+  out.loss = static_cast<float>(total / static_cast<double>(n));
+  return out;
+}
+
+LossResult huber_loss(const Tensor& pred, const Tensor& target, float delta) {
+  if (!pred.same_shape(target))
+    throw std::logic_error("huber_loss: shape mismatch");
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  const std::size_t n = pred.size();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    const float ad = std::abs(d);
+    if (ad <= delta) {
+      total += 0.5 * static_cast<double>(d) * static_cast<double>(d);
+      out.grad[i] = d * inv_n;
+    } else {
+      total += static_cast<double>(delta) * (ad - 0.5 * delta);
+      out.grad[i] = (d > 0.0f ? delta : -delta) * inv_n;
+    }
+  }
+  out.loss = static_cast<float>(total / static_cast<double>(n));
+  return out;
+}
+
+LossResult q_learning_loss(const Tensor& pred,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<float>& td_targets, float delta) {
+  if (pred.rank() != 2)
+    throw std::logic_error("q_learning_loss: expected [B, C]");
+  const std::size_t batch = pred.dim(0), classes = pred.dim(1);
+  if (actions.size() != batch || td_targets.size() != batch)
+    throw std::logic_error("q_learning_loss: batch size mismatch");
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t a = actions[b];
+    if (a >= classes)
+      throw std::logic_error("q_learning_loss: action out of range");
+    const float d = pred.at2(b, a) - td_targets[b];
+    const float ad = std::abs(d);
+    if (ad <= delta) {
+      total += 0.5 * static_cast<double>(d) * static_cast<double>(d);
+      out.grad.at2(b, a) = d * inv_b;
+    } else {
+      total += static_cast<double>(delta) * (ad - 0.5 * delta);
+      out.grad.at2(b, a) = (d > 0.0f ? delta : -delta) * inv_b;
+    }
+  }
+  out.loss = static_cast<float>(total / static_cast<double>(batch));
+  return out;
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,197 @@
+#include "rlattack/nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlattack/nn/init.hpp"
+
+namespace rlattack::nn {
+
+namespace {
+inline float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size,
+           bool return_sequences, util::Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      return_sequences_(return_sequences),
+      w_({4 * hidden_size, input_size}),
+      u_({4 * hidden_size, hidden_size}),
+      b_({4 * hidden_size}),
+      gw_({4 * hidden_size, input_size}),
+      gu_({4 * hidden_size, hidden_size}),
+      gb_({4 * hidden_size}) {
+  if (input_ == 0 || hidden_ == 0)
+    throw std::logic_error("Lstm: zero-sized dimension");
+  xavier_uniform(w_, input_, hidden_, rng);
+  xavier_uniform(u_, hidden_, hidden_, rng);
+  // Forget-gate bias at 1.0 eases gradient flow early in training
+  // (Jozefowicz et al. 2015); other gate biases stay at zero.
+  for (std::size_t i = hidden_; i < 2 * hidden_; ++i) b_[i] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& input) {
+  if (input.rank() != 3 || input.dim(2) != input_)
+    throw std::logic_error("Lstm::forward: expected [B, T, " +
+                           std::to_string(input_) + "], got " +
+                           input.shape_string());
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), steps = input.dim(1);
+  gates_.assign(steps, Tensor({batch, 4 * hidden_}));
+  cells_.assign(steps, Tensor({batch, hidden_}));
+  tanh_cells_.assign(steps, Tensor({batch, hidden_}));
+  hiddens_.assign(steps, Tensor({batch, hidden_}));
+
+  Tensor h_prev({batch, hidden_});
+  Tensor c_prev({batch, hidden_});
+
+  const std::size_t h4 = 4 * hidden_;
+  for (std::size_t t = 0; t < steps; ++t) {
+    Tensor& gates = gates_[t];
+    // pre-activations: gates = x_t W^T + h_prev U^T + b
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const float* xt = input.raw() + (bi * steps + t) * input_;
+      const float* hp = h_prev.raw() + bi * hidden_;
+      float* gr = gates.raw() + bi * h4;
+      for (std::size_t j = 0; j < h4; ++j) {
+        const float* wrow = w_.raw() + j * input_;
+        const float* urow = u_.raw() + j * hidden_;
+        float acc = b_[j];
+        for (std::size_t f = 0; f < input_; ++f) acc += wrow[f] * xt[f];
+        for (std::size_t k = 0; k < hidden_; ++k) acc += urow[k] * hp[k];
+        gr[j] = acc;
+      }
+    }
+    // Activations and state update.
+    Tensor& c = cells_[t];
+    Tensor& tc = tanh_cells_[t];
+    Tensor& h = hiddens_[t];
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      float* gr = gates.raw() + bi * h4;
+      const float* cp = c_prev.raw() + bi * hidden_;
+      float* cr = c.raw() + bi * hidden_;
+      float* tcr = tc.raw() + bi * hidden_;
+      float* hr = h.raw() + bi * hidden_;
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        const float ig = sigmoid(gr[k]);
+        const float fg = sigmoid(gr[hidden_ + k]);
+        const float gg = std::tanh(gr[2 * hidden_ + k]);
+        const float og = sigmoid(gr[3 * hidden_ + k]);
+        gr[k] = ig;
+        gr[hidden_ + k] = fg;
+        gr[2 * hidden_ + k] = gg;
+        gr[3 * hidden_ + k] = og;
+        cr[k] = fg * cp[k] + ig * gg;
+        tcr[k] = std::tanh(cr[k]);
+        hr[k] = og * tcr[k];
+      }
+    }
+    h_prev = h;
+    c_prev = c;
+  }
+
+  if (return_sequences_) {
+    Tensor out({batch, steps, hidden_});
+    for (std::size_t t = 0; t < steps; ++t)
+      for (std::size_t bi = 0; bi < batch; ++bi)
+        for (std::size_t k = 0; k < hidden_; ++k)
+          out.at3(bi, t, k) = hiddens_[t].at2(bi, k);
+    return out;
+  }
+  return hiddens_.back();
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0),
+                    steps = cached_input_.dim(1);
+  const std::size_t h4 = 4 * hidden_;
+
+  // Per-step output gradient extractor.
+  auto grad_at = [&](std::size_t t, std::size_t bi, std::size_t k) -> float {
+    if (return_sequences_) return grad_output.at3(bi, t, k);
+    return t + 1 == steps ? grad_output.at2(bi, k) : 0.0f;
+  };
+  if (return_sequences_) {
+    if (grad_output.rank() != 3 || grad_output.dim(0) != batch ||
+        grad_output.dim(1) != steps || grad_output.dim(2) != hidden_)
+      throw std::logic_error("Lstm::backward: gradient shape mismatch");
+  } else {
+    if (grad_output.rank() != 2 || grad_output.dim(0) != batch ||
+        grad_output.dim(1) != hidden_)
+      throw std::logic_error("Lstm::backward: gradient shape mismatch");
+  }
+
+  Tensor grad_input({batch, steps, input_});
+  Tensor dh_next({batch, hidden_});
+  Tensor dc_next({batch, hidden_});
+  Tensor dpre({batch, h4});
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const Tensor& gates = gates_[t];
+    const Tensor& tc = tanh_cells_[t];
+    // c_{t-1} and h_{t-1}: zero tensors at t == 0.
+    const Tensor* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
+    const Tensor* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
+
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const float* gr = gates.raw() + bi * h4;
+      const float* tcr = tc.raw() + bi * hidden_;
+      float* dpr = dpre.raw() + bi * h4;
+      float* dhn = dh_next.raw() + bi * hidden_;
+      float* dcn = dc_next.raw() + bi * hidden_;
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        const float ig = gr[k], fg = gr[hidden_ + k], gg = gr[2 * hidden_ + k],
+                    og = gr[3 * hidden_ + k];
+        const float dh = grad_at(t, bi, k) + dhn[k];
+        const float dc = dcn[k] + dh * og * (1.0f - tcr[k] * tcr[k]);
+        const float cp = c_prev ? c_prev->at2(bi, k) : 0.0f;
+        dpr[k] = dc * gg * ig * (1.0f - ig);                    // d pre_i
+        dpr[hidden_ + k] = dc * cp * fg * (1.0f - fg);          // d pre_f
+        dpr[2 * hidden_ + k] = dc * ig * (1.0f - gg * gg);      // d pre_g
+        dpr[3 * hidden_ + k] = dh * tcr[k] * og * (1.0f - og);  // d pre_o
+        dcn[k] = dc * fg;  // flows to c_{t-1}
+        dhn[k] = 0.0f;     // recomputed below from dpre * U
+      }
+    }
+
+    // Parameter gradients and input/hidden gradients.
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const float* dpr = dpre.raw() + bi * h4;
+      const float* xt = cached_input_.raw() + (bi * steps + t) * input_;
+      float* gi = grad_input.raw() + (bi * steps + t) * input_;
+      float* dhn = dh_next.raw() + bi * hidden_;
+      for (std::size_t j = 0; j < h4; ++j) {
+        const float d = dpr[j];
+        if (d == 0.0f) continue;
+        gb_[j] += d;
+        float* gwrow = gw_.raw() + j * input_;
+        const float* wrow = w_.raw() + j * input_;
+        for (std::size_t f = 0; f < input_; ++f) {
+          gwrow[f] += d * xt[f];
+          gi[f] += d * wrow[f];
+        }
+        float* gurow = gu_.raw() + j * hidden_;
+        const float* urow = u_.raw() + j * hidden_;
+        if (h_prev) {
+          const float* hp = h_prev->raw() + bi * hidden_;
+          for (std::size_t k = 0; k < hidden_; ++k) {
+            gurow[k] += d * hp[k];
+            dhn[k] += d * urow[k];
+          }
+        } else {
+          for (std::size_t k = 0; k < hidden_; ++k) dhn[k] += d * urow[k];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Lstm::params() {
+  return {{&w_, &gw_, "lstm.w"},
+          {&u_, &gu_, "lstm.u"},
+          {&b_, &gb_, "lstm.b"}};
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,61 @@
+#include "rlattack/nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlattack::nn {
+
+void softmax_last_dim(Tensor& t) {
+  if (t.rank() == 0 || t.empty())
+    throw std::logic_error("softmax_last_dim: empty tensor");
+  const std::size_t cols = t.dim(t.rank() - 1);
+  const std::size_t rows = t.size() / cols;
+  float* d = t.raw();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = d + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) row[c] /= sum;
+  }
+}
+
+std::size_t argmax(std::span<const float> v) {
+  if (v.empty()) throw std::logic_error("argmax: empty span");
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& t) {
+  if (t.rank() != 2) throw std::logic_error("argmax_rows: expected rank 2");
+  const std::size_t rows = t.dim(0), cols = t.dim(1);
+  std::vector<std::size_t> out(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    out[r] = argmax(t.data().subspan(r * cols, cols));
+  return out;
+}
+
+Tensor one_hot(std::size_t index, std::size_t classes) {
+  if (index >= classes) throw std::logic_error("one_hot: index out of range");
+  Tensor t({classes});
+  t[index] = 1.0f;
+  return t;
+}
+
+void clamp_(Tensor& t, float lo, float hi) {
+  for (float& x : t.data()) x = std::clamp(x, lo, hi);
+}
+
+double global_grad_norm(std::span<const Tensor* const> grads) {
+  double s = 0.0;
+  for (const Tensor* g : grads)
+    for (float x : g->data())
+      s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+}  // namespace rlattack::nn

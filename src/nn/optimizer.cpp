@@ -1,0 +1,80 @@
+#include "rlattack/nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace rlattack::nn {
+
+void Optimizer::clip_grad_norm(float max_norm) {
+  double s = 0.0;
+  for (Param& p : params_)
+    for (float x : p.grad->data())
+      s += static_cast<double>(x) * static_cast<double>(x);
+  const double norm = std::sqrt(s);
+  if (norm <= static_cast<double>(max_norm) || norm == 0.0) return;
+  const float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
+  for (Param& p : params_) (*p.grad) *= scale;
+}
+
+Sgd::Sgd(Layer& model, float lr, float momentum)
+    : Sgd(model.params(), lr, momentum) {}
+
+Sgd::Sgd(std::vector<Param> bound, float lr, float momentum)
+    : Optimizer(std::move(bound)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f)
+    for (Param& p : params()) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::apply() {
+  auto& ps = params();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    auto vd = ps[i].value->data();
+    auto gd = ps[i].grad->data();
+    if (momentum_ != 0.0f) {
+      auto md = velocity_[i].data();
+      for (std::size_t j = 0; j < vd.size(); ++j) {
+        md[j] = momentum_ * md[j] + gd[j];
+        vd[j] -= lr_ * md[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < vd.size(); ++j) vd[j] -= lr_ * gd[j];
+    }
+  }
+}
+
+Adam::Adam(Layer& model, float lr, float beta1, float beta2, float eps)
+    : Adam(model.params(), lr, beta1, beta2, eps) {}
+
+Adam::Adam(std::vector<Param> bound, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(bound)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  for (Param& p : params()) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::apply() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  auto& ps = params();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    auto vd = ps[i].value->data();
+    auto gd = ps[i].grad->data();
+    auto md = m_[i].data();
+    auto sd = v_[i].data();
+    for (std::size_t j = 0; j < vd.size(); ++j) {
+      md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
+      sd[j] = beta2_ * sd[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      const float mhat = md[j] / bc1;
+      const float vhat = sd[j] / bc2;
+      vd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,87 @@
+#include "rlattack/nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace rlattack::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::logic_error("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (Param p : layers_[i]->params()) {
+      p.name = "layer" + std::to_string(i) + "." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  for (auto& l : layers_) l->set_training(training);
+}
+
+void Sequential::resample_noise(util::Rng& rng) {
+  for (auto& l : layers_) l->resample_noise(rng);
+}
+
+TimeDistributed::TimeDistributed(LayerPtr inner,
+                                 std::vector<std::size_t> inner_input_shape)
+    : inner_(std::move(inner)), inner_shape_(std::move(inner_input_shape)) {
+  if (!inner_) throw std::logic_error("TimeDistributed: null inner layer");
+  if (inner_shape_.empty())
+    throw std::logic_error("TimeDistributed: empty inner shape");
+}
+
+Tensor TimeDistributed::forward(const Tensor& input) {
+  if (input.rank() < 3)
+    throw std::logic_error("TimeDistributed::forward: expected [B, T, ...]");
+  cached_batch_ = input.dim(0);
+  cached_steps_ = input.dim(1);
+  cached_input_shape_ = input.shape();
+  const std::size_t per_step = shape_numel(inner_shape_);
+  if (input.size() != cached_batch_ * cached_steps_ * per_step)
+    throw std::logic_error(
+        "TimeDistributed::forward: input does not match inner shape");
+  std::vector<std::size_t> folded{cached_batch_ * cached_steps_};
+  folded.insert(folded.end(), inner_shape_.begin(), inner_shape_.end());
+  Tensor y = inner_->forward(input.reshaped(std::move(folded)));
+  if (y.dim(0) != cached_batch_ * cached_steps_)
+    throw std::logic_error(
+        "TimeDistributed::forward: inner layer changed the batch extent");
+  std::vector<std::size_t> unfolded{cached_batch_, cached_steps_};
+  for (std::size_t d = 1; d < y.rank(); ++d) unfolded.push_back(y.dim(d));
+  return y.reshaped(std::move(unfolded));
+}
+
+Tensor TimeDistributed::backward(const Tensor& grad_output) {
+  if (grad_output.rank() < 3 || grad_output.dim(0) != cached_batch_ ||
+      grad_output.dim(1) != cached_steps_)
+    throw std::logic_error("TimeDistributed::backward: shape mismatch");
+  std::vector<std::size_t> folded{cached_batch_ * cached_steps_};
+  for (std::size_t d = 2; d < grad_output.rank(); ++d)
+    folded.push_back(grad_output.dim(d));
+  Tensor g = inner_->backward(grad_output.reshaped(std::move(folded)));
+  // Return the gradient in the caller's original input shape (it may have
+  // fed flattened frames, e.g. [B, T, H*W] into a conv inner layer).
+  return g.reshaped(cached_input_shape_);
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,82 @@
+#include "rlattack/nn/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rlattack::nn {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    if (d == 0) throw std::logic_error("Tensor: zero extent in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw std::logic_error("Tensor: data size does not match shape " +
+                           shape_string());
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::logic_error("Tensor::at: out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::logic_error("Tensor::at: out of range");
+  return data_[i];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_numel(new_shape) != data_.size())
+    throw std::logic_error("Tensor::reshaped: element count mismatch");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (!same_shape(other))
+    throw std::logic_error("Tensor::operator+=: shape mismatch " +
+                           shape_string() + " vs " + other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (!same_shape(other))
+    throw std::logic_error("Tensor::operator-=: shape mismatch " +
+                           shape_string() + " vs " + other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace rlattack::nn

@@ -1,0 +1,140 @@
+#include "rlattack/rl/a2c.hpp"
+#include <algorithm>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlattack/nn/ops.hpp"
+#include "rlattack/rl/batch.hpp"
+
+namespace rlattack::rl {
+
+A2cAgent::A2cAgent(ObsSpec obs, std::size_t actions, Config config,
+                   std::uint64_t seed)
+    : obs_(std::move(obs)), actions_(actions), config_(config), rng_(seed) {
+  if (actions_ == 0) throw std::logic_error("A2cAgent: zero actions");
+  util::Rng init_rng = rng_.split();
+  net_ = make_net(obs_, actions_ + 1, config_.hidden, init_rng);
+  optimizer_ = std::make_unique<nn::Adam>(*net_, config_.lr);
+  rollout_.reserve(config_.rollout_len);
+}
+
+std::size_t A2cAgent::act(const nn::Tensor& observation, bool explore) {
+  nn::Tensor out = net_->forward(as_batch_of_one(observation));  // [1, A+1]
+  std::vector<float> logits(actions_);
+  for (std::size_t a = 0; a < actions_; ++a) logits[a] = out.at2(0, a);
+  if (!explore) return nn::argmax(logits);
+  // Sample from the softmax policy.
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> probs(actions_);
+  for (std::size_t a = 0; a < actions_; ++a)
+    probs[a] = std::exp(logits[a] - mx);
+  return rng_.categorical(probs);
+}
+
+void A2cAgent::begin_episode() {}
+
+void A2cAgent::learn(const nn::Tensor& observation, std::size_t action,
+                     double reward, const nn::Tensor& next_observation,
+                     bool done) {
+  rollout_.push_back({observation, action, static_cast<float>(reward)});
+  if (done || rollout_.size() >= config_.rollout_len) {
+    update(next_observation, done);
+    rollout_.clear();
+  }
+}
+
+void A2cAgent::update(const nn::Tensor& bootstrap_observation, bool terminal) {
+  const std::size_t n = rollout_.size();
+  if (n == 0) return;
+
+  // Bootstrap value of the state following the rollout.
+  float bootstrap = 0.0f;
+  if (!terminal) {
+    nn::Tensor v = net_->forward(as_batch_of_one(bootstrap_observation));
+    bootstrap = v.at2(0, actions_);
+  }
+  // Discounted returns, backwards.
+  std::vector<float> returns(n);
+  float running = bootstrap;
+  for (std::size_t i = n; i-- > 0;) {
+    running = rollout_[i].reward + config_.gamma * running;
+    returns[i] = running;
+  }
+
+  std::vector<const nn::Tensor*> obs_ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) obs_ptrs[i] = &rollout_[i].observation;
+  nn::Tensor out = net_->forward(batch_observations(obs_ptrs));  // [B, A+1]
+
+  // Raw advantages (returns - V) for the policy term; optionally
+  // standardised across the rollout. The critic regresses on the raw
+  // returns either way.
+  std::vector<float> advantages(n);
+  for (std::size_t i = 0; i < n; ++i)
+    advantages[i] = returns[i] - out.at2(i, actions_);
+  if (config_.normalize_advantages && n > 1) {
+    double mean = 0.0;
+    for (float a : advantages) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (float a : advantages) var += (a - mean) * (a - mean);
+    const double stddev = std::sqrt(var / static_cast<double>(n));
+    if (stddev > 1e-6) {
+      for (float& a : advantages)
+        a = static_cast<float>((a - mean) / stddev);
+    }
+  }
+
+  // Manual gradient of the A2C objective:
+  //   L = mean_b [ -log pi(a_b | s_b) * adv_b
+  //                + value_coef * (V_b - R_b)^2
+  //                - entropy_coef * H(pi(. | s_b)) ]
+  // with adv_b treated as a constant (no gradient through the critic term
+  // of the advantage).
+  nn::Tensor grad(out.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    // Softmax over the logit slice.
+    std::vector<float> p(actions_);
+    float mx = out.at2(b, 0);
+    for (std::size_t a = 1; a < actions_; ++a)
+      mx = std::max(mx, out.at2(b, a));
+    float sum = 0.0f;
+    for (std::size_t a = 0; a < actions_; ++a) {
+      p[a] = std::exp(out.at2(b, a) - mx);
+      sum += p[a];
+    }
+    for (float& x : p) x /= sum;
+
+    const float value = out.at2(b, actions_);
+    const float advantage = advantages[b];
+
+    float entropy = 0.0f;
+    for (std::size_t a = 0; a < actions_; ++a)
+      if (p[a] > 0.0f) entropy -= p[a] * std::log(p[a]);
+
+    const std::size_t taken = rollout_[b].action;
+    for (std::size_t a = 0; a < actions_; ++a) {
+      const float policy_grad =
+          (p[a] - (a == taken ? 1.0f : 0.0f)) * advantage;
+      const float entropy_grad =
+          p[a] * ((p[a] > 0.0f ? std::log(p[a]) : 0.0f) + entropy);
+      grad.at2(b, a) =
+          inv_n * (policy_grad + config_.entropy_coef * entropy_grad);
+    }
+    grad.at2(b, actions_) =
+        inv_n * config_.value_coef * 2.0f * (value - returns[b]);
+  }
+
+  net_->backward(grad);
+  optimizer_->clip_grad_norm(config_.grad_clip);
+  optimizer_->step();
+  ++updates_;
+}
+
+AgentPtr make_a2c_agent(const ObsSpec& obs, std::size_t actions,
+                        std::uint64_t seed) {
+  return std::make_unique<A2cAgent>(obs, actions, A2cAgent::Config{}, seed);
+}
+
+}  // namespace rlattack::rl

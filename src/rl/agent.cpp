@@ -1,0 +1,23 @@
+#include "rlattack/rl/agent.hpp"
+
+#include <stdexcept>
+
+namespace rlattack::rl {
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "dqn") return Algorithm::kDqn;
+  if (name == "a2c") return Algorithm::kA2c;
+  if (name == "rainbow") return Algorithm::kRainbow;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDqn: return "dqn";
+    case Algorithm::kA2c: return "a2c";
+    case Algorithm::kRainbow: return "rainbow";
+  }
+  throw std::logic_error("algorithm_name: invalid enum");
+}
+
+}  // namespace rlattack::rl

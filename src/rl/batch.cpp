@@ -1,0 +1,33 @@
+#include "rlattack/rl/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlattack::rl {
+
+nn::Tensor batch_observations(
+    std::span<const nn::Tensor* const> observations) {
+  if (observations.empty())
+    throw std::logic_error("batch_observations: empty batch");
+  const auto& first_shape = observations.front()->shape();
+  std::vector<std::size_t> shape{observations.size()};
+  shape.insert(shape.end(), first_shape.begin(), first_shape.end());
+  nn::Tensor out(shape);
+  const std::size_t stride = observations.front()->size();
+  for (std::size_t b = 0; b < observations.size(); ++b) {
+    if (observations[b]->shape() != first_shape)
+      throw std::logic_error("batch_observations: inconsistent shapes");
+    auto src = observations[b]->data();
+    std::copy(src.begin(), src.end(), out.data().begin() + b * stride);
+  }
+  return out;
+}
+
+nn::Tensor as_batch_of_one(const nn::Tensor& observation) {
+  std::vector<std::size_t> shape{1};
+  const auto& s = observation.shape();
+  shape.insert(shape.end(), s.begin(), s.end());
+  return observation.reshaped(std::move(shape));
+}
+
+}  // namespace rlattack::rl

@@ -1,0 +1,24 @@
+#include "rlattack/rl/factory.hpp"
+
+#include <stdexcept>
+
+#include "rlattack/rl/a2c.hpp"
+#include "rlattack/rl/q_agent.hpp"
+
+namespace rlattack::rl {
+
+AgentPtr make_agent(Algorithm algorithm, const ObsSpec& obs,
+                    std::size_t actions, std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kDqn: return make_dqn_agent(obs, actions, seed);
+    case Algorithm::kA2c: return make_a2c_agent(obs, actions, seed);
+    case Algorithm::kRainbow: return make_rainbow_agent(obs, actions, seed);
+  }
+  throw std::logic_error("make_agent: invalid enum");
+}
+
+ObsSpec obs_spec_of(const env::Environment& environment) {
+  return ObsSpec{environment.observation_shape()};
+}
+
+}  // namespace rlattack::rl

@@ -1,0 +1,67 @@
+// Advantage actor-critic (Mnih et al. 2016), synchronous single-worker
+// variant (the paper trains with RLlib's A2C). The actor and critic share
+// one trunk whose final layer emits [action logits..., state value]; updates
+// happen every `rollout_len` steps from n-step bootstrapped returns.
+#pragma once
+
+#include "rlattack/nn/optimizer.hpp"
+#include "rlattack/rl/agent.hpp"
+#include "rlattack/rl/networks.hpp"
+
+namespace rlattack::rl {
+
+class A2cAgent final : public Agent {
+ public:
+  struct Config {
+    std::size_t hidden = 64;
+    std::size_t rollout_len = 32;
+    float gamma = 0.99f;
+    float lr = 7e-4f;
+    float value_coef = 0.5f;
+    float entropy_coef = 0.01f;
+    float grad_clip = 1.0f;
+    /// Standardise advantages within each rollout (zero mean, unit std).
+    /// Helps when reward scales vary wildly within an episode, but hurts
+    /// near-constant-reward tasks (CartPole): with every step worth +1,
+    /// standardisation manufactures negative advantages for half the
+    /// rollout. Off by default; exposed for experimentation.
+    bool normalize_advantages = false;
+  };
+
+  A2cAgent(ObsSpec obs, std::size_t actions, Config config,
+           std::uint64_t seed);
+
+  std::size_t act(const nn::Tensor& observation, bool explore) override;
+  void begin_episode() override;
+  void learn(const nn::Tensor& observation, std::size_t action, double reward,
+             const nn::Tensor& next_observation, bool done) override;
+  std::string algorithm() const override { return "a2c"; }
+  nn::Layer& network() override { return *net_; }
+  std::size_t action_count() const override { return actions_; }
+
+  std::size_t update_count() const noexcept { return updates_; }
+
+ private:
+  void update(const nn::Tensor& bootstrap_observation, bool terminal);
+
+  ObsSpec obs_;
+  std::size_t actions_;
+  Config config_;
+  util::Rng rng_;
+  nn::LayerPtr net_;  // outputs [B, actions + 1]
+  std::unique_ptr<nn::Adam> optimizer_;
+
+  struct Pending {
+    nn::Tensor observation;
+    std::size_t action;
+    float reward;
+  };
+  std::vector<Pending> rollout_;
+  std::size_t updates_ = 0;
+};
+
+/// Canonical A2C configuration.
+AgentPtr make_a2c_agent(const ObsSpec& obs, std::size_t actions,
+                        std::uint64_t seed);
+
+}  // namespace rlattack::rl

@@ -1,0 +1,59 @@
+// Agent abstraction shared by DQN, A2C and Rainbow.
+//
+// The attack pipeline only ever uses `act` in evaluation mode — the paper's
+// explicit assumption is that the victim runs with exploration turned off
+// and no further training (Section 4.2). Training-time hooks live here too
+// so one trainer loop drives all three algorithms.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rlattack/nn/layer.hpp"
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::rl {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  Agent() = default;
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Picks an action for `observation`. With `explore` true the agent uses
+  /// its training-time behaviour policy (epsilon-greedy, sampling, noisy
+  /// nets); with false it acts greedily/deterministically.
+  virtual std::size_t act(const nn::Tensor& observation, bool explore) = 0;
+
+  /// Called at the start of each training episode.
+  virtual void begin_episode() {}
+
+  /// Feeds one environment transition back for learning. `observation` is
+  /// s_t as seen by the agent (post frame-stacking), `next_observation` is
+  /// s_{t+1}.
+  virtual void learn(const nn::Tensor& observation, std::size_t action,
+                     double reward, const nn::Tensor& next_observation,
+                     bool done) = 0;
+
+  /// Algorithm identifier: "dqn", "a2c" or "rainbow".
+  virtual std::string algorithm() const = 0;
+
+  /// The underlying network holding all learnable parameters, for
+  /// checkpoint save/load.
+  virtual nn::Layer& network() = 0;
+
+  /// Number of discrete actions this agent selects among.
+  virtual std::size_t action_count() const = 0;
+};
+
+using AgentPtr = std::unique_ptr<Agent>;
+
+/// Algorithm identifiers matching the paper's three victim trainers.
+enum class Algorithm { kDqn, kA2c, kRainbow };
+
+/// Parses "dqn" / "a2c" / "rainbow"; throws std::invalid_argument otherwise.
+Algorithm parse_algorithm(const std::string& name);
+std::string algorithm_name(Algorithm a);
+
+}  // namespace rlattack::rl

@@ -1,0 +1,17 @@
+// Batch assembly: stacks per-step observation tensors (shape S) into a
+// [B, S...] minibatch tensor for network forward passes.
+#pragma once
+
+#include <span>
+
+#include "rlattack/nn/tensor.hpp"
+
+namespace rlattack::rl {
+
+/// Stacks observations into a batch. All tensors must share a shape.
+nn::Tensor batch_observations(std::span<const nn::Tensor* const> observations);
+
+/// Wraps a single observation as a batch of one: {S...} -> [1, S...].
+nn::Tensor as_batch_of_one(const nn::Tensor& observation);
+
+}  // namespace rlattack::rl

@@ -1,0 +1,17 @@
+// Algorithm-keyed agent construction.
+#pragma once
+
+#include "rlattack/env/environment.hpp"
+#include "rlattack/rl/agent.hpp"
+#include "rlattack/rl/networks.hpp"
+
+namespace rlattack::rl {
+
+/// Builds an agent of the given algorithm for an observation spec.
+AgentPtr make_agent(Algorithm algorithm, const ObsSpec& obs,
+                    std::size_t actions, std::uint64_t seed);
+
+/// Derives the ObsSpec from an environment's observation shape.
+ObsSpec obs_spec_of(const env::Environment& environment);
+
+}  // namespace rlattack::rl

@@ -1,0 +1,110 @@
+// Experience replay: a uniform ring buffer for DQN and a proportional
+// prioritized buffer (Schaul et al. 2016, a Rainbow component) backed by a
+// sum tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rlattack/nn/tensor.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack::rl {
+
+/// One stored transition (s, a, r, s', done). For n-step agents `reward`
+/// holds the discounted n-step return and `next_observation` is s_{t+n}.
+struct Replayed {
+  nn::Tensor observation;
+  std::size_t action = 0;
+  float reward = 0.0f;
+  nn::Tensor next_observation;
+  bool done = false;
+};
+
+/// Fixed-capacity uniform-sampling ring buffer.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Replayed transition);
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Uniformly samples `count` indices (with replacement). Requires
+  /// non-empty buffer.
+  std::vector<std::size_t> sample_indices(std::size_t count, util::Rng& rng) const;
+
+  const Replayed& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Replayed> data_;
+};
+
+/// Complete binary sum tree over `capacity` leaves; supports O(log n)
+/// priority update and prefix-sum sampling.
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  void set(std::size_t leaf, float priority);
+  float get(std::size_t leaf) const;
+  float total() const noexcept { return nodes_[0]; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Finds the leaf whose cumulative-priority interval contains `mass`
+  /// (0 <= mass < total()).
+  std::size_t find(float mass) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<float> nodes_;  // 2*capacity - 1 nodes, leaves at the end
+};
+
+/// Proportional prioritized replay with importance-sampling weights.
+class PrioritizedReplayBuffer {
+ public:
+  struct Config {
+    std::size_t capacity = 10000;
+    float alpha = 0.6f;       ///< priority exponent
+    float beta_start = 0.4f;  ///< IS exponent, annealed to 1
+    float beta_end = 1.0f;
+    std::size_t beta_anneal_steps = 20000;
+    float epsilon = 1e-3f;  ///< keeps every priority strictly positive
+  };
+
+  struct Sample {
+    std::vector<std::size_t> indices;
+    std::vector<float> weights;  ///< normalised IS weights (max = 1)
+  };
+
+  explicit PrioritizedReplayBuffer(Config config);
+
+  /// New transitions enter with the current maximum priority so they are
+  /// replayed at least once.
+  void push(Replayed transition);
+
+  Sample sample(std::size_t count, util::Rng& rng);
+
+  /// Updates priorities from the absolute TD errors of a learned batch.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<float>& td_errors);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const Replayed& operator[](std::size_t i) const { return data_[i]; }
+  float current_beta() const noexcept;
+
+ private:
+  Config config_;
+  SumTree tree_;
+  std::vector<Replayed> data_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  float max_priority_ = 1.0f;
+  std::size_t sample_calls_ = 0;
+};
+
+}  // namespace rlattack::rl

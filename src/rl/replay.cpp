@@ -1,0 +1,139 @@
+#include "rlattack/rl/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlattack::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::logic_error("ReplayBuffer: zero capacity");
+  data_.reserve(capacity_);
+}
+
+void ReplayBuffer::push(Replayed transition) {
+  if (data_.size() < capacity_) {
+    data_.push_back(std::move(transition));
+  } else {
+    data_[next_] = std::move(transition);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<std::size_t> ReplayBuffer::sample_indices(std::size_t count,
+                                                      util::Rng& rng) const {
+  if (data_.empty())
+    throw std::logic_error("ReplayBuffer::sample_indices: empty buffer");
+  std::vector<std::size_t> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = rng.uniform_int(data_.size());
+  return out;
+}
+
+SumTree::SumTree(std::size_t capacity)
+    : capacity_(capacity), nodes_(2 * capacity - 1, 0.0f) {
+  if (capacity_ == 0) throw std::logic_error("SumTree: zero capacity");
+}
+
+void SumTree::set(std::size_t leaf, float priority) {
+  if (leaf >= capacity_) throw std::logic_error("SumTree::set: out of range");
+  if (priority < 0.0f || !std::isfinite(priority))
+    throw std::logic_error("SumTree::set: invalid priority");
+  std::size_t node = leaf + capacity_ - 1;
+  const float delta = priority - nodes_[node];
+  nodes_[node] = priority;
+  while (node > 0) {
+    node = (node - 1) / 2;
+    nodes_[node] += delta;
+  }
+}
+
+float SumTree::get(std::size_t leaf) const {
+  if (leaf >= capacity_) throw std::logic_error("SumTree::get: out of range");
+  return nodes_[leaf + capacity_ - 1];
+}
+
+std::size_t SumTree::find(float mass) const {
+  std::size_t node = 0;
+  while (node < capacity_ - 1) {  // while internal
+    const std::size_t left = 2 * node + 1;
+    if (mass < nodes_[left] || nodes_[2 * node + 2] <= 0.0f) {
+      node = left;
+    } else {
+      mass -= nodes_[left];
+      node = 2 * node + 2;
+    }
+  }
+  return node - (capacity_ - 1);
+}
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(Config config)
+    : config_(config), tree_(config.capacity) {
+  if (config_.alpha < 0.0f)
+    throw std::logic_error("PrioritizedReplayBuffer: negative alpha");
+  data_.resize(config_.capacity);
+}
+
+void PrioritizedReplayBuffer::push(Replayed transition) {
+  data_[next_] = std::move(transition);
+  tree_.set(next_, std::pow(max_priority_, config_.alpha));
+  next_ = (next_ + 1) % config_.capacity;
+  size_ = std::min(size_ + 1, config_.capacity);
+}
+
+float PrioritizedReplayBuffer::current_beta() const noexcept {
+  const float frac = std::min(
+      1.0f, static_cast<float>(sample_calls_) /
+                static_cast<float>(std::max<std::size_t>(
+                    1, config_.beta_anneal_steps)));
+  return config_.beta_start + frac * (config_.beta_end - config_.beta_start);
+}
+
+PrioritizedReplayBuffer::Sample PrioritizedReplayBuffer::sample(
+    std::size_t count, util::Rng& rng) {
+  if (size_ == 0)
+    throw std::logic_error("PrioritizedReplayBuffer::sample: empty buffer");
+  const float beta = current_beta();
+  ++sample_calls_;
+
+  Sample out;
+  out.indices.resize(count);
+  out.weights.resize(count);
+  const float total = tree_.total();
+  // Stratified sampling across the cumulative mass.
+  for (std::size_t i = 0; i < count; ++i) {
+    const float segment = total / static_cast<float>(count);
+    const float mass =
+        segment * (static_cast<float>(i) + rng.uniform_f(0.0f, 1.0f));
+    std::size_t leaf = tree_.find(std::min(mass, total * 0.999999f));
+    if (leaf >= size_) leaf = size_ - 1;  // unfilled leaves have 0 priority
+    out.indices[i] = leaf;
+  }
+  // IS weight w_i = (N * P(i))^-beta, normalised by the max weight.
+  float max_w = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float p = tree_.get(out.indices[i]) / total;
+    const float w = std::pow(static_cast<float>(size_) * std::max(p, 1e-12f),
+                             -beta);
+    out.weights[i] = w;
+    max_w = std::max(max_w, w);
+  }
+  if (max_w > 0.0f)
+    for (float& w : out.weights) w /= max_w;
+  return out;
+}
+
+void PrioritizedReplayBuffer::update_priorities(
+    const std::vector<std::size_t>& indices,
+    const std::vector<float>& td_errors) {
+  if (indices.size() != td_errors.size())
+    throw std::logic_error(
+        "PrioritizedReplayBuffer::update_priorities: size mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float priority = std::abs(td_errors[i]) + config_.epsilon;
+    max_priority_ = std::max(max_priority_, priority);
+    tree_.set(indices[i], std::pow(priority, config_.alpha));
+  }
+}
+
+}  // namespace rlattack::rl

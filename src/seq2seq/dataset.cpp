@@ -1,0 +1,93 @@
+#include "rlattack/seq2seq/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlattack::seq2seq {
+
+EpisodeDataset::EpisodeDataset(const std::vector<env::Episode>& episodes,
+                               std::size_t n, std::size_t m,
+                               std::size_t frame_size, std::size_t actions)
+    : episodes_(&episodes),
+      n_(n),
+      m_(m),
+      frame_size_(frame_size),
+      actions_(actions) {
+  if (n_ == 0 || m_ == 0)
+    throw std::logic_error("EpisodeDataset: zero sequence length");
+  if (frame_size_ == 0 || actions_ == 0)
+    throw std::logic_error("EpisodeDataset: zero frame size or action count");
+  for (std::size_t e = 0; e < episodes.size(); ++e) {
+    const std::size_t len = episodes[e].steps.size();
+    if (len < n_ + m_) continue;
+    for (std::size_t t = n_; t + m_ <= len; ++t) refs_.push_back({e, t});
+  }
+}
+
+void EpisodeDataset::copy_frame(std::size_t episode, std::size_t step,
+                                std::span<float> dst) const {
+  const nn::Tensor& obs = (*episodes_)[episode].steps[step].observation;
+  if (obs.size() < frame_size_)
+    throw std::logic_error("EpisodeDataset: observation smaller than frame");
+  auto src = obs.data().subspan(obs.size() - frame_size_, frame_size_);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+Batch EpisodeDataset::materialize(
+    std::span<const std::size_t> indices) const {
+  if (indices.empty())
+    throw std::logic_error("EpisodeDataset::materialize: empty batch");
+  const std::size_t batch = indices.size();
+  Batch out;
+  out.action_history = nn::Tensor({batch, n_, actions_});
+  out.obs_history = nn::Tensor({batch, n_, frame_size_});
+  out.current_obs = nn::Tensor({batch, frame_size_});
+  out.targets.resize(batch * m_);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (indices[b] >= refs_.size())
+      throw std::logic_error("EpisodeDataset::materialize: index out of range");
+    const SampleRef ref = refs_[indices[b]];
+    const auto& steps = (*episodes_)[ref.episode].steps;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t src_t = ref.t - n_ + i;
+      const std::size_t action = steps[src_t].action;
+      if (action >= actions_)
+        throw std::logic_error("EpisodeDataset: action out of range");
+      out.action_history.at3(b, i, action) = 1.0f;
+      copy_frame(ref.episode, src_t,
+                 out.obs_history.data().subspan(
+                     (b * n_ + i) * frame_size_, frame_size_));
+    }
+    copy_frame(ref.episode, ref.t,
+               out.current_obs.data().subspan(b * frame_size_, frame_size_));
+    for (std::size_t j = 0; j < m_; ++j)
+      out.targets[b * m_ + j] = steps[ref.t + j].action;
+  }
+  return out;
+}
+
+Batch EpisodeDataset::sample_batch(std::size_t batch_size,
+                                   util::Rng& rng) const {
+  if (refs_.empty())
+    throw std::logic_error("EpisodeDataset::sample_batch: empty dataset");
+  std::vector<std::size_t> indices(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i)
+    indices[i] = rng.uniform_int(refs_.size());
+  return materialize(indices);
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+EpisodeDataset::split(double train_fraction, util::Rng& rng) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::logic_error("EpisodeDataset::split: fraction out of (0, 1)");
+  std::vector<std::size_t> order = rng.permutation(refs_.size());
+  const std::size_t cut =
+      static_cast<std::size_t>(train_fraction *
+                               static_cast<double>(order.size()));
+  std::vector<std::size_t> train(order.begin(), order.begin() + cut);
+  std::vector<std::size_t> eval(order.begin() + cut, order.end());
+  return {std::move(train), std::move(eval)};
+}
+
+}  // namespace rlattack::seq2seq

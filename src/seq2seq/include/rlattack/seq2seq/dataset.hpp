@@ -1,0 +1,70 @@
+// Training data for the approximator: turns passively observed episode
+// traces into ((A_{t-1}, S_{t-1}, s_t), A^f_t) samples (Section 4.3).
+//
+// The recorded observations may be agent-side frame stacks; the attacker
+// sees raw frames, so each sample extracts the *newest* frame (the tail
+// `frame_size` elements — frame stacking is concatenation with newest
+// last).
+#pragma once
+
+#include <span>
+
+#include "rlattack/env/environment.hpp"
+#include "rlattack/nn/tensor.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack::seq2seq {
+
+/// A materialised minibatch ready for Seq2SeqModel::forward.
+struct Batch {
+  nn::Tensor action_history;       ///< [B, n, A] one-hot
+  nn::Tensor obs_history;          ///< [B, n, F]
+  nn::Tensor current_obs;          ///< [B, F]
+  std::vector<std::size_t> targets;  ///< row-major [B * m] future actions
+};
+
+/// Lazily indexes (episode, t) sample positions over a set of episodes and
+/// materialises minibatches on demand. The episode storage must outlive the
+/// dataset.
+class EpisodeDataset {
+ public:
+  /// `n` input steps, `m` output steps, `frame_size` raw-frame element
+  /// count, `actions` victim action-space size. Samples exist for every t
+  /// with n <= t and t + m <= episode length.
+  EpisodeDataset(const std::vector<env::Episode>& episodes, std::size_t n,
+                 std::size_t m, std::size_t frame_size, std::size_t actions);
+
+  std::size_t size() const noexcept { return refs_.size(); }
+  bool empty() const noexcept { return refs_.empty(); }
+  std::size_t input_steps() const noexcept { return n_; }
+  std::size_t output_steps() const noexcept { return m_; }
+
+  /// Materialises the samples at the given dataset indices into one batch.
+  Batch materialize(std::span<const std::size_t> indices) const;
+
+  /// Uniformly samples a batch of `batch_size` (bootstrap sampling, as the
+  /// paper trains from bootstrapped draws of the collected episodes).
+  Batch sample_batch(std::size_t batch_size, util::Rng& rng) const;
+
+  /// Algorithm 1's Split: shuffles sample indices and returns
+  /// (train_indices, eval_indices) at the given train fraction.
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split(
+      double train_fraction, util::Rng& rng) const;
+
+ private:
+  struct SampleRef {
+    std::size_t episode;
+    std::size_t t;
+  };
+
+  /// Copies the newest raw frame of the recorded observation at (episode,
+  /// step) into `dst`.
+  void copy_frame(std::size_t episode, std::size_t step,
+                  std::span<float> dst) const;
+
+  const std::vector<env::Episode>* episodes_;
+  std::size_t n_, m_, frame_size_, actions_;
+  std::vector<SampleRef> refs_;
+};
+
+}  // namespace rlattack::seq2seq

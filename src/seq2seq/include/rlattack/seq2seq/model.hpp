@@ -1,0 +1,119 @@
+// The sequence-to-sequence approximator of Section 4.3 / Figure 1.
+//
+//   A^f_t = f(A_{t-1}, S_{t-1}, s_t)
+//
+// Three input heads digest (a) the action history A_{t-1} (one-hot, LSTM
+// path), (b) the observation history S_{t-1} (per-frame conv features for
+// image games, then an LSTM path), and (c) the current observation s_t
+// (conv/dense path). The three embeddings are summed, the sum is duplicated
+// m times along a new temporal axis, and a recurrent decoder emits logits
+// for each of the m future actions. (The paper describes the post-head
+// blocks as "duplicate m times, aggregate by summation, feed into another
+// fully-connected layer"; an identical per-step FC on identical inputs
+// would collapse all m predictions, so the decoder here is the canonical
+// RepeatVector -> LSTM -> per-step Dense seq2seq decoder, recorded as a
+// reproduction decision in DESIGN.md.)
+//
+// backward() exposes the gradient with respect to *every* input —
+// in particular d loss / d s_t, which is exactly what FGSM/PGD need and
+// what stock adversarial libraries lacked (the paper had to extend
+// Cleverhans for multi-input sequence models; this model supports it
+// natively).
+#pragma once
+
+#include <cstdint>
+
+#include "rlattack/nn/optimizer.hpp"
+#include "rlattack/nn/sequential.hpp"
+
+namespace rlattack::seq2seq {
+
+struct Seq2SeqConfig {
+  std::size_t input_steps = 10;   ///< n — history length
+  std::size_t output_steps = 1;   ///< m — 1 ("action") or 10 ("Seq")
+  std::size_t actions = 2;        ///< A — victim action-space size
+  /// Per-step observation shape: {4} for CartPole, {1, H, W} for the image
+  /// games (the attacker sees raw frames; stacking happens agent-side).
+  std::vector<std::size_t> frame_shape = {4};
+  std::size_t embed = 64;        ///< shared embedding width E
+  std::size_t lstm_hidden = 48;  ///< hidden width of the head LSTMs
+  /// Luong-style attention decoder (extension): instead of pooling the
+  /// observation history into one embedding, the decoder attends over the
+  /// per-step encoder states of S_{t-1} at every output position. The
+  /// ablation bench compares both decoders.
+  bool use_attention = false;
+
+  bool is_image() const noexcept { return frame_shape.size() == 3; }
+  std::size_t frame_size() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t d : frame_shape) n *= d;
+    return n;
+  }
+};
+
+class Seq2SeqModel {
+ public:
+  Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed);
+
+  /// Inputs:
+  ///   action_history [B, n, A]  one-hot A_{t-1}
+  ///   obs_history    [B, n, F]  flattened frames S_{t-1}
+  ///   current_obs    [B, F]     flattened frame s_t
+  /// Output: logits [B, m, A].
+  nn::Tensor forward(const nn::Tensor& action_history,
+                     const nn::Tensor& obs_history,
+                     const nn::Tensor& current_obs);
+
+  struct InputGrads {
+    nn::Tensor action_history;  ///< [B, n, A]
+    nn::Tensor obs_history;     ///< [B, n, F]
+    nn::Tensor current_obs;     ///< [B, F] — the attack surface
+  };
+
+  /// Backpropagates d loss / d logits, accumulating parameter gradients and
+  /// returning input gradients. Call at most once per forward.
+  InputGrads backward(const nn::Tensor& grad_logits);
+
+  /// All learnable parameters across heads and decoder.
+  std::vector<nn::Param> params();
+
+  void zero_grad();
+
+  const Seq2SeqConfig& config() const noexcept { return config_; }
+
+ private:
+  nn::Tensor forward_attention(const nn::Tensor& action_history,
+                               const nn::Tensor& obs_history,
+                               const nn::Tensor& current_obs);
+  InputGrads backward_attention(const nn::Tensor& grad_logits);
+
+  Seq2SeqConfig config_;
+  nn::Sequential action_head_;   // [B, n, A] -> [B, E]
+  nn::Sequential obs_head_;      // [B, n, F] -> [B, E]  (pooling decoder)
+  nn::Sequential current_head_;  // [B, F]    -> [B, E]
+  nn::Sequential decoder_;       // [B, m, E] -> [B, m, A] (pooling decoder)
+  std::size_t cached_batch_ = 0;
+
+  // --- attention-decoder variant ---
+  nn::Sequential obs_encoder_;    // [B, n, F] -> [B, n, H] encoder states
+  nn::Sequential decoder_lstm_;   // [B, m, E] -> [B, m, E] decoder states
+  nn::Sequential output_dense_;   // [B, m, E + H] -> [B, m, A]
+  nn::Tensor attn_w_;             // [E, H] Luong "general" score projection
+  nn::Tensor attn_w_grad_;
+  // forward caches for the attention backward pass
+  nn::Tensor cached_encoder_;   // [B, n, H]
+  nn::Tensor cached_keys_;      // [B, n, E]
+  nn::Tensor cached_decoder_;   // [B, m, E]
+  nn::Tensor cached_alpha_;     // [B, m, n]
+};
+
+/// Head presets matching Table 2's per-game configurations, scaled to this
+/// reproduction's frame sizes (DESIGN.md).
+Seq2SeqConfig make_cartpole_seq2seq_config(std::size_t input_steps,
+                                           std::size_t output_steps);
+Seq2SeqConfig make_atari_seq2seq_config(std::vector<std::size_t> frame_shape,
+                                        std::size_t actions,
+                                        std::size_t input_steps,
+                                        std::size_t output_steps);
+
+}  // namespace rlattack::seq2seq

@@ -1,0 +1,376 @@
+#include "rlattack/seq2seq/model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "rlattack/nn/activations.hpp"
+#include "rlattack/nn/conv2d.hpp"
+#include "rlattack/nn/dense.hpp"
+#include "rlattack/nn/init.hpp"
+#include "rlattack/nn/lstm.hpp"
+
+namespace rlattack::seq2seq {
+
+namespace {
+
+/// Per-frame conv feature extractor for image heads; returns the feature
+/// width. Scaled-down analogue of Table 2's conv stacks (16x16 frames vs
+/// the paper's 84x84; DESIGN.md records the scaling).
+std::size_t append_frame_conv(nn::Sequential& net,
+                              const std::vector<std::size_t>& chw,
+                              std::size_t out_width, util::Rng& rng) {
+  const std::size_t c = chw[0], h = chw[1], w = chw[2];
+  auto conv1 = std::make_unique<nn::Conv2D>(c, 8, 3, 2, 1, rng);
+  const std::size_t h1 = conv1->out_extent(h), w1 = conv1->out_extent(w);
+  auto conv2 = std::make_unique<nn::Conv2D>(8, 16, 3, 2, 1, rng);
+  const std::size_t h2 = conv2->out_extent(h1), w2 = conv2->out_extent(w1);
+  net.add(std::move(conv1));
+  net.emplace<nn::ReLU>();
+  net.add(std::move(conv2));
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(16 * h2 * w2, out_width, rng, true);
+  net.emplace<nn::ReLU>();
+  return out_width;
+}
+
+}  // namespace
+
+Seq2SeqModel::Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed)
+    : config_(config) {
+  if (config_.actions == 0) throw std::logic_error("Seq2SeqModel: no actions");
+  if (config_.input_steps == 0 || config_.output_steps == 0)
+    throw std::logic_error("Seq2SeqModel: zero sequence length");
+  util::Rng rng(seed);
+  const std::size_t lstm_h = config_.lstm_hidden;
+  const std::size_t embed = config_.embed;
+
+  // Action head (Table 2: "1-2 LSTM, 1 Dense"): one-hot action sequence.
+  action_head_.emplace<nn::Lstm>(config_.actions, lstm_h, true, rng)
+      .emplace<nn::Lstm>(lstm_h, lstm_h, false, rng)
+      .emplace<nn::Dense>(lstm_h, embed, rng);
+
+  // Observation head.
+  if (config_.is_image()) {
+    // Per-frame conv features, applied across time, then the LSTM stack
+    // ("6 Conv, 3 LSTM, 2 Dense" scaled to small frames).
+    auto frame_net = std::make_unique<nn::Sequential>();
+    util::Rng frame_rng = rng.split();
+    const std::size_t feat =
+        append_frame_conv(*frame_net, config_.frame_shape, 64, frame_rng);
+    obs_head_.emplace<nn::TimeDistributed>(std::move(frame_net),
+                                           config_.frame_shape);
+    obs_head_.emplace<nn::Lstm>(feat, lstm_h, true, rng)
+        .emplace<nn::Lstm>(lstm_h, lstm_h, false, rng)
+        .emplace<nn::Dense>(lstm_h, embed, rng);
+  } else {
+    // Vector observations ("2 LSTM, 1 Dense").
+    obs_head_.emplace<nn::Lstm>(config_.frame_size(), lstm_h, true, rng)
+        .emplace<nn::Lstm>(lstm_h, lstm_h, false, rng)
+        .emplace<nn::Dense>(lstm_h, embed, rng);
+  }
+
+  // Current-observation head ("1 Dense" / "5 Conv, 2 Dense" scaled).
+  if (config_.is_image()) {
+    current_head_.emplace<nn::Reshape>(config_.frame_shape);
+    util::Rng cur_rng = rng.split();
+    append_frame_conv(current_head_, config_.frame_shape, 64, cur_rng);
+    current_head_.emplace<nn::Dense>(64, embed, cur_rng);
+  } else {
+    current_head_.emplace<nn::Dense>(config_.frame_size(), embed, rng);
+  }
+
+  // Decoder: RepeatVector happens in forward; then LSTM + per-step Dense.
+  decoder_.emplace<nn::Lstm>(embed, embed, true, rng);
+  auto step_dense = std::make_unique<nn::Sequential>();
+  step_dense->emplace<nn::Dense>(embed, config_.actions, rng);
+  decoder_.emplace<nn::TimeDistributed>(std::move(step_dense),
+                                        std::vector<std::size_t>{embed});
+
+  if (config_.use_attention) {
+    // Encoder over the observation history (sequence outputs kept).
+    if (config_.is_image()) {
+      auto frame_net = std::make_unique<nn::Sequential>();
+      util::Rng enc_rng = rng.split();
+      const std::size_t feat =
+          append_frame_conv(*frame_net, config_.frame_shape, 64, enc_rng);
+      obs_encoder_.emplace<nn::TimeDistributed>(std::move(frame_net),
+                                                config_.frame_shape);
+      obs_encoder_.emplace<nn::Lstm>(feat, lstm_h, true, rng);
+    } else {
+      obs_encoder_.emplace<nn::Lstm>(config_.frame_size(), lstm_h, true, rng);
+    }
+    decoder_lstm_.emplace<nn::Lstm>(embed, embed, true, rng);
+    auto out_net = std::make_unique<nn::Sequential>();
+    out_net->emplace<nn::Dense>(embed + lstm_h, config_.actions, rng);
+    output_dense_.emplace<nn::TimeDistributed>(
+        std::move(out_net), std::vector<std::size_t>{embed + lstm_h});
+    attn_w_ = nn::Tensor({embed, lstm_h});
+    attn_w_grad_ = nn::Tensor({embed, lstm_h});
+    xavier_uniform(attn_w_, lstm_h, embed, rng);
+  }
+}
+
+nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
+                                 const nn::Tensor& obs_history,
+                                 const nn::Tensor& current_obs) {
+  const std::size_t n = config_.input_steps;
+  const std::size_t frame = config_.frame_size();
+  if (action_history.rank() != 3 || action_history.dim(1) != n ||
+      action_history.dim(2) != config_.actions)
+    throw std::logic_error("Seq2SeqModel::forward: bad action history " +
+                           action_history.shape_string());
+  if (obs_history.rank() != 3 || obs_history.dim(1) != n ||
+      obs_history.dim(2) != frame)
+    throw std::logic_error("Seq2SeqModel::forward: bad observation history " +
+                           obs_history.shape_string());
+  if (current_obs.rank() != 2 || current_obs.dim(1) != frame ||
+      current_obs.dim(0) != action_history.dim(0))
+    throw std::logic_error("Seq2SeqModel::forward: bad current observation " +
+                           current_obs.shape_string());
+  cached_batch_ = action_history.dim(0);
+  if (config_.use_attention)
+    return forward_attention(action_history, obs_history, current_obs);
+
+  nn::Tensor embedding = action_head_.forward(action_history);  // [B, E]
+  embedding += obs_head_.forward(obs_history);
+  embedding += current_head_.forward(current_obs);
+
+  // RepeatVector: duplicate the summed embedding m times (Figure 1).
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  nn::Tensor repeated({cached_batch_, m, e});
+  for (std::size_t b = 0; b < cached_batch_; ++b)
+    for (std::size_t t = 0; t < m; ++t)
+      for (std::size_t k = 0; k < e; ++k)
+        repeated.at3(b, t, k) = embedding.at2(b, k);
+
+  return decoder_.forward(repeated);  // [B, m, A]
+}
+
+Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  if (grad_logits.rank() != 3 || grad_logits.dim(0) != cached_batch_ ||
+      grad_logits.dim(1) != m || grad_logits.dim(2) != config_.actions)
+    throw std::logic_error("Seq2SeqModel::backward: bad gradient shape " +
+                           grad_logits.shape_string());
+  if (config_.use_attention) return backward_attention(grad_logits);
+
+  nn::Tensor grad_repeated = decoder_.backward(grad_logits);  // [B, m, E]
+  // Duplication backward: sum gradients across the m copies.
+  nn::Tensor grad_embedding({cached_batch_, e});
+  for (std::size_t b = 0; b < cached_batch_; ++b)
+    for (std::size_t t = 0; t < m; ++t)
+      for (std::size_t k = 0; k < e; ++k)
+        grad_embedding.at2(b, k) += grad_repeated.at3(b, t, k);
+
+  // Summation aggregation backward: each head receives the same gradient.
+  InputGrads grads;
+  grads.action_history = action_head_.backward(grad_embedding);
+  grads.obs_history = obs_head_.backward(grad_embedding);
+  grads.current_obs = current_head_.backward(grad_embedding);
+  return grads;
+}
+
+nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,
+                                           const nn::Tensor& obs_history,
+                                           const nn::Tensor& current_obs) {
+  const std::size_t b_count = cached_batch_;
+  const std::size_t n = config_.input_steps;
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+
+  // Encoder states over the observation history.
+  cached_encoder_ = obs_encoder_.forward(obs_history);  // [B, n, H]
+
+  // Keys K[b, i, :] = W_a * E[b, i, :]  (Luong "general" score).
+  cached_keys_ = nn::Tensor({b_count, n, e});
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < e; ++k) {
+        float acc = 0.0f;
+        for (std::size_t hh = 0; hh < h; ++hh)
+          acc += attn_w_[k * h + hh] * cached_encoder_.at3(b, i, hh);
+        cached_keys_.at3(b, i, k) = acc;
+      }
+
+  // Decoder input: summed action + current-observation embeddings,
+  // repeated m times (the observation history enters via attention).
+  nn::Tensor embedding = action_head_.forward(action_history);
+  embedding += current_head_.forward(current_obs);
+  nn::Tensor repeated({b_count, m, e});
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t t = 0; t < m; ++t)
+      for (std::size_t k = 0; k < e; ++k)
+        repeated.at3(b, t, k) = embedding.at2(b, k);
+  cached_decoder_ = decoder_lstm_.forward(repeated);  // [B, m, E]
+
+  // Attention weights and contexts.
+  cached_alpha_ = nn::Tensor({b_count, m, n});
+  nn::Tensor concat({b_count, m, e + h});
+  for (std::size_t b = 0; b < b_count; ++b) {
+    for (std::size_t t = 0; t < m; ++t) {
+      // scores_i = D_t . K_i, softmaxed over i.
+      float mx = -std::numeric_limits<float>::infinity();
+      std::vector<float> scores(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        float s = 0.0f;
+        for (std::size_t k = 0; k < e; ++k)
+          s += cached_decoder_.at3(b, t, k) * cached_keys_.at3(b, i, k);
+        scores[i] = s;
+        mx = std::max(mx, s);
+      }
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        scores[i] = std::exp(scores[i] - mx);
+        sum += scores[i];
+      }
+      for (std::size_t i = 0; i < n; ++i)
+        cached_alpha_.at3(b, t, i) = scores[i] / sum;
+      // Context c_t = sum_i alpha_i E_i; output row = [D_t ; c_t].
+      for (std::size_t k = 0; k < e; ++k)
+        concat[(b * m + t) * (e + h) + k] = cached_decoder_.at3(b, t, k);
+      for (std::size_t hh = 0; hh < h; ++hh) {
+        float c = 0.0f;
+        for (std::size_t i = 0; i < n; ++i)
+          c += cached_alpha_.at3(b, t, i) * cached_encoder_.at3(b, i, hh);
+        concat[(b * m + t) * (e + h) + e + hh] = c;
+      }
+    }
+  }
+  return output_dense_.forward(concat);  // [B, m, A]
+}
+
+Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
+    const nn::Tensor& grad_logits) {
+  const std::size_t b_count = cached_batch_;
+  const std::size_t n = config_.input_steps;
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+
+  nn::Tensor grad_concat = output_dense_.backward(grad_logits);  // [B,m,E+H]
+
+  nn::Tensor grad_decoder({b_count, m, e});
+  nn::Tensor grad_encoder({b_count, n, h});
+  nn::Tensor grad_keys({b_count, n, e});
+
+  for (std::size_t b = 0; b < b_count; ++b) {
+    for (std::size_t t = 0; t < m; ++t) {
+      const float* gz = grad_concat.raw() + (b * m + t) * (e + h);
+      // Direct decoder-state gradient from the concat split.
+      for (std::size_t k = 0; k < e; ++k)
+        grad_decoder.at3(b, t, k) += gz[k];
+      const float* gc = gz + e;  // d loss / d context [H]
+
+      // d alpha_i = gc . E_i ; encoder grad from the context sum.
+      std::vector<float> dalpha(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        float da = 0.0f;
+        const float alpha = cached_alpha_.at3(b, t, i);
+        for (std::size_t hh = 0; hh < h; ++hh) {
+          da += gc[hh] * cached_encoder_.at3(b, i, hh);
+          grad_encoder.at3(b, i, hh) += alpha * gc[hh];
+        }
+        dalpha[i] = da;
+      }
+      // Softmax backward: ds_i = alpha_i * (dalpha_i - sum_j alpha_j dalpha_j).
+      float weighted = 0.0f;
+      for (std::size_t i = 0; i < n; ++i)
+        weighted += cached_alpha_.at3(b, t, i) * dalpha[i];
+      for (std::size_t i = 0; i < n; ++i) {
+        const float ds = cached_alpha_.at3(b, t, i) * (dalpha[i] - weighted);
+        if (ds == 0.0f) continue;
+        // score = D_t . K_i.
+        for (std::size_t k = 0; k < e; ++k) {
+          grad_decoder.at3(b, t, k) += ds * cached_keys_.at3(b, i, k);
+          grad_keys.at3(b, i, k) += ds * cached_decoder_.at3(b, t, k);
+        }
+      }
+    }
+  }
+
+  // K = E W_a^T: accumulate W_a grads and the encoder grad through the keys.
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < e; ++k) {
+        const float gk = grad_keys.at3(b, i, k);
+        if (gk == 0.0f) continue;
+        for (std::size_t hh = 0; hh < h; ++hh) {
+          attn_w_grad_[k * h + hh] += gk * cached_encoder_.at3(b, i, hh);
+          grad_encoder.at3(b, i, hh) += gk * attn_w_[k * h + hh];
+        }
+      }
+
+  InputGrads grads;
+  grads.obs_history = obs_encoder_.backward(grad_encoder);
+
+  nn::Tensor grad_repeated = decoder_lstm_.backward(grad_decoder);
+  nn::Tensor grad_embedding({b_count, e});
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t t = 0; t < m; ++t)
+      for (std::size_t k = 0; k < e; ++k)
+        grad_embedding.at2(b, k) += grad_repeated.at3(b, t, k);
+  grads.action_history = action_head_.backward(grad_embedding);
+  grads.current_obs = current_head_.backward(grad_embedding);
+  return grads;
+}
+
+std::vector<nn::Param> Seq2SeqModel::params() {
+  std::vector<nn::Param> out;
+  auto take = [&out](nn::Sequential& part, const std::string& prefix) {
+    for (nn::Param p : part.params()) {
+      p.name = prefix + "." + p.name;
+      out.push_back(p);
+    }
+  };
+  // Order matters: checkpoints store parameters positionally, so the
+  // non-attention layout must stay exactly as first released.
+  take(action_head_, "action_head");
+  if (!config_.use_attention) {
+    take(obs_head_, "obs_head");
+    take(current_head_, "current_head");
+    take(decoder_, "decoder");
+  } else {
+    take(current_head_, "current_head");
+    take(obs_encoder_, "obs_encoder");
+    take(decoder_lstm_, "decoder_lstm");
+    take(output_dense_, "output_dense");
+    out.push_back({&attn_w_, &attn_w_grad_, "attention.w"});
+  }
+  return out;
+}
+
+void Seq2SeqModel::zero_grad() {
+  for (nn::Param& p : params()) p.grad->zero();
+}
+
+Seq2SeqConfig make_cartpole_seq2seq_config(std::size_t input_steps,
+                                           std::size_t output_steps) {
+  Seq2SeqConfig c;
+  c.input_steps = input_steps;
+  c.output_steps = output_steps;
+  c.actions = 2;
+  c.frame_shape = {4};
+  c.embed = 48;
+  c.lstm_hidden = 32;
+  return c;
+}
+
+Seq2SeqConfig make_atari_seq2seq_config(std::vector<std::size_t> frame_shape,
+                                        std::size_t actions,
+                                        std::size_t input_steps,
+                                        std::size_t output_steps) {
+  Seq2SeqConfig c;
+  c.input_steps = input_steps;
+  c.output_steps = output_steps;
+  c.actions = actions;
+  c.frame_shape = std::move(frame_shape);
+  c.embed = 64;
+  c.lstm_hidden = 48;
+  return c;
+}
+
+}  // namespace rlattack::seq2seq

@@ -1,0 +1,153 @@
+#include "rlattack/seq2seq/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rlattack/nn/loss.hpp"
+#include "rlattack/util/log.hpp"
+
+namespace rlattack::seq2seq {
+
+namespace {
+
+std::size_t batches_for(const TrainSettings& settings, std::size_t samples) {
+  if (settings.batches_per_epoch > 0) return settings.batches_per_epoch;
+  const std::size_t per_pass =
+      (samples + settings.batch_size - 1) / settings.batch_size;
+  return std::min<std::size_t>(std::max<std::size_t>(per_pass, 1), 256);
+}
+
+std::unique_ptr<nn::Optimizer> make_optimizer(Seq2SeqModel& model,
+                                              const TrainSettings& settings) {
+  if (settings.use_sgd)
+    return std::make_unique<nn::Sgd>(model.params(), settings.lr);
+  return std::make_unique<nn::Adam>(model.params(), settings.lr);
+}
+
+}  // namespace
+
+double evaluate_seq2seq(Seq2SeqModel& model, const EpisodeDataset& dataset,
+                        std::span<const std::size_t> indices,
+                        std::size_t batch_size, std::size_t max_batches) {
+  if (indices.empty())
+    throw std::logic_error("evaluate_seq2seq: empty eval split");
+  std::size_t correct = 0, total = 0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < indices.size();
+       start += batch_size, ++batches) {
+    if (max_batches > 0 && batches >= max_batches) break;
+    const std::size_t count = std::min(batch_size, indices.size() - start);
+    Batch batch = dataset.materialize(indices.subspan(start, count));
+    nn::Tensor logits =
+        model.forward(batch.action_history, batch.obs_history,
+                      batch.current_obs);
+    const std::size_t m = dataset.output_steps();
+    const std::size_t a = logits.dim(2);
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t j = 0; j < m; ++j) {
+        auto row = logits.data().subspan((b * m + j) * a, a);
+        const std::size_t pred = static_cast<std::size_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+        if (pred == batch.targets[b * m + j]) ++correct;
+        ++total;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TrainOutcome train_seq2seq(Seq2SeqModel& model, const EpisodeDataset& dataset,
+                           std::span<const std::size_t> train_indices,
+                           std::span<const std::size_t> eval_indices,
+                           const TrainSettings& settings, util::Rng& rng) {
+  if (train_indices.empty())
+    throw std::logic_error("train_seq2seq: empty training split");
+  auto optimizer = make_optimizer(model, settings);
+  const std::size_t batches = batches_for(settings, train_indices.size());
+
+  TrainOutcome outcome;
+  std::vector<std::size_t> batch_indices(settings.batch_size);
+  for (std::size_t epoch = 0; epoch < settings.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (std::size_t i = 0; i < batches; ++i) {
+      // Bootstrap sampling from the training split.
+      for (std::size_t j = 0; j < settings.batch_size; ++j)
+        batch_indices[j] =
+            train_indices[rng.uniform_int(train_indices.size())];
+      Batch batch = dataset.materialize(batch_indices);
+      nn::Tensor logits = model.forward(batch.action_history,
+                                        batch.obs_history, batch.current_obs);
+      nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.targets);
+      epoch_loss += loss.loss;
+      model.backward(loss.grad);
+      optimizer->step();
+    }
+    outcome.final_train_loss = epoch_loss / static_cast<double>(batches);
+  }
+  outcome.eval_accuracy =
+      evaluate_seq2seq(model, dataset, eval_indices, settings.batch_size,
+                       settings.max_eval_batches);
+  return outcome;
+}
+
+LengthSearchResult search_input_length(
+    const std::vector<env::Episode>& episodes,
+    std::span<const std::size_t> candidates,
+    const std::function<Seq2SeqConfig(std::size_t)>& make_config,
+    const TrainSettings& settings, std::uint64_t seed) {
+  if (candidates.empty())
+    throw std::logic_error("search_input_length: no candidates");
+  TrainSettings probe = settings;
+  // Nt = 0.01 * N (Algorithm 1 line 14), at least one epoch.
+  probe.epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.01 * static_cast<double>(settings.epochs)));
+
+  LengthSearchResult result;
+  for (std::size_t n : candidates) {
+    const Seq2SeqConfig config = make_config(n);
+    EpisodeDataset dataset(episodes, config.input_steps, config.output_steps,
+                           config.frame_size(), config.actions);
+    if (dataset.empty()) {
+      util::log_warn("length search: no samples for n = ", n, "; skipping");
+      continue;
+    }
+    util::Rng rng(seed ^ (0x9e37u + n));
+    auto [train_idx, eval_idx] = dataset.split(0.9, rng);
+    if (train_idx.empty() || eval_idx.empty()) continue;
+    Seq2SeqModel model(config, seed + n);
+    TrainOutcome outcome =
+        train_seq2seq(model, dataset, train_idx, eval_idx, probe, rng);
+    result.probes.emplace_back(n, outcome.eval_accuracy);
+    if (outcome.eval_accuracy > result.best_probe_accuracy ||
+        result.best_length == 0) {
+      result.best_probe_accuracy = outcome.eval_accuracy;
+      result.best_length = n;
+    }
+  }
+  if (result.best_length == 0)
+    throw std::logic_error(
+        "search_input_length: no candidate produced any samples");
+  return result;
+}
+
+ApproximatorResult build_approximator(
+    const std::vector<env::Episode>& episodes,
+    std::span<const std::size_t> length_candidates,
+    const std::function<Seq2SeqConfig(std::size_t)>& make_config,
+    const TrainSettings& settings, std::uint64_t seed) {
+  ApproximatorResult result;
+  result.search = search_input_length(episodes, length_candidates,
+                                      make_config, settings, seed);
+  const Seq2SeqConfig config = make_config(result.search.best_length);
+  EpisodeDataset dataset(episodes, config.input_steps, config.output_steps,
+                         config.frame_size(), config.actions);
+  util::Rng rng(seed ^ 0xABCDu);
+  auto [train_idx, eval_idx] = dataset.split(0.9, rng);
+  result.model = std::make_unique<Seq2SeqModel>(config, seed);
+  result.outcome = train_seq2seq(*result.model, dataset, train_idx, eval_idx,
+                                 settings, rng);
+  return result;
+}
+
+}  // namespace rlattack::seq2seq

@@ -1,0 +1,69 @@
+#include "rlattack/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rlattack::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string body = token.substr(2);
+      if (body.empty())
+        throw std::invalid_argument("CliArgs: bare '--' is not an option");
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "true";  // boolean switch
+      }
+    } else if (command_.empty()) {
+      command_ = token;
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("CliArgs: --" + key + " expects a number");
+  return value;
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("CliArgs: --" + key + " expects an integer");
+  return value;
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& [key, value] : options_) out.push_back(key);
+  return out;
+}
+
+}  // namespace rlattack::util

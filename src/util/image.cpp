@@ -1,0 +1,34 @@
+#include "rlattack/util/image.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace rlattack::util {
+
+bool write_pgm(const std::string& path, std::span<const float> pixels,
+               std::size_t width, std::size_t height) {
+  if (pixels.size() != width * height || width == 0 || height == 0)
+    return false;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  for (float p : pixels) {
+    const float clamped = std::clamp(p, 0.0f, 1.0f);
+    out.put(static_cast<char>(static_cast<unsigned char>(clamped * 255.0f)));
+  }
+  return static_cast<bool>(out);
+}
+
+void rescale_to_unit(std::span<float> pixels) {
+  if (pixels.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(pixels.begin(), pixels.end());
+  const float lo = *lo_it, hi = *hi_it;
+  const float range = hi - lo;
+  if (range <= 0.0f) {
+    std::fill(pixels.begin(), pixels.end(), 0.0f);
+    return;
+  }
+  for (float& p : pixels) p = (p - lo) / range;
+}
+
+}  // namespace rlattack::util

@@ -1,0 +1,45 @@
+// Minimal command-line argument parsing for the rlattack CLI and examples:
+// one positional subcommand followed by --key=value / --key value options
+// and --flag switches.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rlattack::util {
+
+class CliArgs {
+ public:
+  /// Parses argv. The first non-option token becomes the subcommand;
+  /// remaining non-option tokens are positional arguments. Throws
+  /// std::invalid_argument on malformed options ("--" with empty name).
+  CliArgs(int argc, const char* const* argv);
+
+  const std::string& program() const noexcept { return program_; }
+  const std::string& command() const noexcept { return command_; }
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& key) const;
+
+  /// String option; returns fallback when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Typed accessors; throw std::invalid_argument on unparsable values.
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+
+  /// Lists every option key that was provided (for unknown-flag warnings).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::string program_;
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace rlattack::util

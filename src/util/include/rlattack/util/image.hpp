@@ -1,0 +1,22 @@
+// Grayscale image output (binary PGM) for the Figure 3 perturbation
+// visualisation and for debugging environment renders.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace rlattack::util {
+
+/// Writes a grayscale image as binary PGM (P5). `pixels` holds row-major
+/// values in [0, 1]; values outside the range are clamped. Returns false on
+/// I/O failure or if pixels.size() != width * height.
+bool write_pgm(const std::string& path, std::span<const float> pixels,
+               std::size_t width, std::size_t height);
+
+/// Rescales `pixels` so min -> 0 and max -> 1 (paper Figure 3 rightmost
+/// panel: perturbation rescaled to full range for visibility). A constant
+/// image maps to all-zeros.
+void rescale_to_unit(std::span<float> pixels);
+
+}  // namespace rlattack::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Experiments are long-running; progress lines keep
+// the operator informed without a logging framework dependency.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace rlattack::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Not thread-safe to mutate concurrently with logging (experiments
+/// are single-threaded by design).
+LogLevel& log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg);
+}
+
+/// Logs a message composed from stream-formattable parts, e.g.
+/// `log_info("episode ", i, " reward ", r)`.
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  detail::emit(level, out.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace rlattack::util

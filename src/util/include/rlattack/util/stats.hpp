@@ -1,0 +1,64 @@
+// Small statistics helpers used by the experiment harnesses: running
+// mean/variance (Welford), and vector norms used for perturbation budgets.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlattack::util {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Euclidean (L2) norm of a vector.
+inline double l2_norm(std::span<const float> v) noexcept {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+/// Max-abs (L-infinity) norm of a vector.
+inline double linf_norm(std::span<const float> v) noexcept {
+  double m = 0.0;
+  for (float x : v) m = std::max(m, std::abs(static_cast<double>(x)));
+  return m;
+}
+
+/// Mean of a vector of doubles; 0 for empty input.
+inline double mean_of(const std::vector<double>& v) noexcept {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace rlattack::util

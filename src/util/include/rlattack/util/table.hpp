@@ -1,0 +1,49 @@
+// Console table and CSV emission for experiment results.
+//
+// Every bench binary prints a paper-shaped table to stdout and writes the
+// same rows as CSV so the results can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlattack::util {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// and/or a CSV file. All formatting happens at render time; the builder is
+/// a plain value type.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row. The row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders an aligned, pipe-separated table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and leaves no partial file
+  /// guarantee) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string fmt(double value, int digits = 2);
+
+/// Formats "mean ± stddev".
+std::string fmt_pm(double mean, double stddev, int digits = 2);
+
+}  // namespace rlattack::util

@@ -1,0 +1,24 @@
+#include "rlattack/util/log.hpp"
+
+namespace rlattack::util {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg) {
+  const char* tag = "INFO ";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO "; break;
+    case LogLevel::kWarn: tag = "WARN "; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+  }
+  std::ostream& out = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  out << "[" << tag << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace rlattack::util

@@ -1,0 +1,36 @@
+#include "rlattack/util/rng.hpp"
+
+#include <numeric>
+
+namespace rlattack::util {
+
+std::size_t Rng::categorical(const std::vector<float>& weights) {
+  if (weights.empty())
+    throw std::logic_error("Rng::categorical: empty weights");
+  double total = 0.0;
+  for (float w : weights) {
+    if (w < 0.0f || !std::isfinite(w))
+      throw std::logic_error("Rng::categorical: negative or non-finite weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::logic_error("Rng::categorical: weights sum to zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last bucket.
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = uniform_int(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace rlattack::util

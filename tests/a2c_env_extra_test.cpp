@@ -1,0 +1,282 @@
+// Additional coverage: A2C internals, environment physics details, and
+#include <cmath>
+// cross-module serialization of the seq2seq model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gradcheck.hpp"
+#include "rlattack/env/cartpole.hpp"
+#include "rlattack/env/mini_invaders.hpp"
+#include "rlattack/env/mini_pong.hpp"
+#include "rlattack/nn/serialize.hpp"
+#include "rlattack/rl/a2c.hpp"
+#include "rlattack/rl/q_agent.hpp"
+#include "rlattack/seq2seq/model.hpp"
+
+namespace rlattack {
+namespace {
+
+using rlattack::testing::random_tensor;
+
+TEST(A2c, UpdatesEveryRolloutLen) {
+  rl::A2cAgent::Config cfg;
+  cfg.rollout_len = 4;
+  rl::A2cAgent agent(rl::ObsSpec{{4}}, 2, cfg, 1);
+  nn::Tensor obs({4});
+  for (int i = 0; i < 12; ++i)
+    agent.learn(obs, 0, 1.0, obs, /*done=*/false);
+  EXPECT_EQ(agent.update_count(), 3u);
+}
+
+TEST(A2c, EpisodeEndForcesUpdate) {
+  rl::A2cAgent::Config cfg;
+  cfg.rollout_len = 100;
+  rl::A2cAgent agent(rl::ObsSpec{{4}}, 2, cfg, 1);
+  nn::Tensor obs({4});
+  agent.learn(obs, 0, 1.0, obs, false);
+  agent.learn(obs, 1, 1.0, obs, /*done=*/true);
+  EXPECT_EQ(agent.update_count(), 1u);
+}
+
+TEST(A2c, ExplorationSamplesBothActions) {
+  rl::A2cAgent agent(rl::ObsSpec{{4}}, 2, rl::A2cAgent::Config{}, 2);
+  util::Rng rng(3);
+  nn::Tensor obs = random_tensor({4}, rng);
+  bool saw[2] = {false, false};
+  for (int i = 0; i < 200; ++i) saw[agent.act(obs, true)] = true;
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(A2c, GreedyIsStableAcrossCalls) {
+  rl::A2cAgent agent(rl::ObsSpec{{4}}, 3, rl::A2cAgent::Config{}, 2);
+  util::Rng rng(4);
+  nn::Tensor obs = random_tensor({4}, rng);
+  const std::size_t a = agent.act(obs, false);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(agent.act(obs, false), a);
+}
+
+TEST(A2c, LearningReducesValueError) {
+  // Constant reward 1 with immediate termination: V(s) must approach 1.
+  rl::A2cAgent::Config cfg;
+  cfg.rollout_len = 1;
+  cfg.lr = 0.01f;
+  rl::A2cAgent agent(rl::ObsSpec{{2}}, 2, cfg, 5);
+  nn::Tensor obs({2}, {1.0f, -1.0f});
+  for (int i = 0; i < 400; ++i) agent.learn(obs, i % 2, 1.0, obs, true);
+  // Probe the value head through the fused output.
+  nn::Tensor out = agent.network().forward(obs.reshaped({1, 2}));
+  EXPECT_NEAR(out.at2(0, 2), 1.0f, 0.15f);
+}
+
+TEST(A2c, AdvantageNormalizationOptionRuns) {
+  rl::A2cAgent::Config cfg;
+  cfg.rollout_len = 8;
+  cfg.normalize_advantages = true;
+  rl::A2cAgent agent(rl::ObsSpec{{4}}, 2, cfg, 6);
+  util::Rng rng(6);
+  // Mixed-magnitude rewards — the case normalization targets.
+  for (int i = 0; i < 64; ++i) {
+    nn::Tensor o = rlattack::testing::random_tensor({4}, rng);
+    agent.learn(o, rng.uniform_int(std::uint64_t{2}),
+                i % 10 == 0 ? 10.0 : -0.05, o, i % 16 == 15);
+  }
+  EXPECT_GE(agent.update_count(), 7u);
+  EXPECT_LT(agent.act(nn::Tensor({4}), false), 2u);
+}
+
+TEST(QAgentNStep, AggregatesDiscountedReward) {
+  // n_step = 2, gamma = 0.5: the first replayed transition must carry
+  // r0 + 0.5 * r1.
+  rl::QAgent::Config cfg;
+  cfg.n_step = 2;
+  cfg.gamma = 0.5f;
+  cfg.use_per = false;
+  cfg.warmup_steps = 1000000;  // never train during the test
+  rl::QAgent agent(rl::ObsSpec{{1}}, 2, cfg, 1);
+  nn::Tensor o({1});
+  agent.begin_episode();
+  agent.learn(o, 0, 1.0, o, false);   // r0 = 1
+  agent.learn(o, 0, 10.0, o, false);  // r1 = 10 -> flush front with 1 + 5
+  agent.learn(o, 0, 0.0, o, true);    // episode end flushes the rest
+  // The internal buffer isn't exposed; the observable invariant is that
+  // learning proceeded without error and the agent acts sanely.
+  EXPECT_LT(agent.act(o, false), 2u);
+}
+
+TEST(CartPole, PushRightAcceleratesRight) {
+  env::CartPole env(env::CartPole::Config{}, 9);
+  env.reset();
+  double velocity_sum = 0.0;
+  for (int i = 0; i < 5; ++i)
+    velocity_sum += env.step(1).observation[1];
+  EXPECT_GT(velocity_sum, 0.0);
+}
+
+TEST(CartPole, InvertedPendulumIsUnstable) {
+  // With no applied force, any initial tilt grows: the physics must model
+  // an unstable equilibrium, not a hanging pendulum.
+  env::CartPole::Config cfg;
+  cfg.force_mag = 0.0;
+  cfg.max_steps = 500;
+  env::CartPole env(cfg, 10);
+  nn::Tensor obs = env.reset();
+  const double theta0 = std::abs(obs[2]);
+  double theta_last = theta0;
+  bool done = false;
+  while (!done) {
+    auto sr = env.step(0);
+    theta_last = std::abs(sr.observation[2]);
+    done = sr.done;
+  }
+  EXPECT_GT(theta_last, theta0);
+  // And it must actually tip past the 12-degree threshold, ending early.
+  EXPECT_GT(theta_last, 0.2);
+}
+
+TEST(MiniPong, BallStaysInVerticalBounds) {
+  env::MiniPong env(env::MiniPong::Config{}, 11);
+  util::Rng rng(11);
+  nn::Tensor obs = env.reset();
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 400) {
+    auto sr = env.step(rng.uniform_int(3));
+    // Every bright pixel must lie inside the raster by construction —
+    // render() would have dropped it otherwise; check the frame is sane.
+    for (float p : sr.observation.data()) EXPECT_LE(p, 1.0f);
+    done = sr.done;
+    ++steps;
+  }
+}
+
+TEST(MiniPong, TrackingPolicyBeatsStaticPolicy) {
+  // A scripted paddle that follows the ball should collect more points
+  // than one that never moves — sanity of the game's skill gradient.
+  auto play = [](bool track) {
+    env::MiniPong::Config cfg;
+    cfg.points_to_win = 5;
+    cfg.max_steps = 2000;
+    cfg.shaping_weight = 0.0;
+    env::MiniPong env(cfg, 13);
+    nn::Tensor obs = env.reset();
+    double reward = 0.0;
+    bool done = false;
+    while (!done) {
+      std::size_t action = 0;
+      if (track) {
+        // Find ball row (shade 1.0) and paddle-top row (shade 0.8).
+        const std::size_t w = cfg.width, h = cfg.height;
+        std::ptrdiff_t ball_y = -1, paddle_y = -1;
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t x = 0; x < w; ++x) {
+            const float v = obs[y * w + x];
+            if (v == 1.0f) ball_y = static_cast<std::ptrdiff_t>(y);
+            if (v == 0.8f && paddle_y < 0)
+              paddle_y = static_cast<std::ptrdiff_t>(y);
+          }
+        if (ball_y >= 0 && paddle_y >= 0) {
+          const std::ptrdiff_t centre =
+              paddle_y + static_cast<std::ptrdiff_t>(cfg.paddle_height / 2);
+          action = ball_y < centre ? 1 : ball_y > centre ? 2 : 0;
+        }
+      }
+      auto sr = env.step(action);
+      reward += sr.reward;
+      obs = sr.observation;
+      done = sr.done;
+    }
+    return reward;
+  };
+  EXPECT_GT(play(true), play(false));
+}
+
+TEST(MiniInvaders, BombsEventuallyFall) {
+  env::MiniInvaders env(env::MiniInvaders::Config{}, 15);
+  env.reset();
+  bool saw_bomb = false;
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 300) {
+    auto sr = env.step(0);
+    for (float p : sr.observation.data())
+      if (p == 0.7f) saw_bomb = true;  // bomb shade
+    done = sr.done;
+    ++steps;
+  }
+  EXPECT_TRUE(saw_bomb);
+}
+
+TEST(MiniInvaders, ShieldsDegrade) {
+  env::MiniInvaders::Config cfg;
+  cfg.shield_hp = 1;
+  env::MiniInvaders env(cfg, 15);
+  env.reset();
+  // Fire straight up through a shield position until a shield dies: count
+  // shield pixels over time.
+  auto count_shields = [&](const nn::Tensor& obs) {
+    int n = 0;
+    for (float p : obs.data())
+      if (p >= 0.25f && p <= 0.5f) ++n;
+    return n;
+  };
+  nn::Tensor obs = env.reset();
+  const int initial = count_shields(obs);
+  ASSERT_GT(initial, 0);
+  bool done = false;
+  int steps = 0;
+  int final_count = initial;
+  while (!done && steps < 400) {
+    // Sweep across the field while firing: some shot will hit a shield.
+    const std::size_t action = (steps % 4 == 0) ? 3 : (steps % 4 == 1 ? 1 : 2);
+    auto sr = env.step(action);
+    final_count = count_shields(sr.observation);
+    if (final_count < initial) break;
+    done = sr.done;
+    ++steps;
+  }
+  EXPECT_LT(final_count, initial);
+}
+
+TEST(Seq2SeqSerialize, RoundTripThroughParamVector) {
+  seq2seq::Seq2SeqConfig cfg;
+  cfg.input_steps = 2;
+  cfg.output_steps = 2;
+  cfg.actions = 2;
+  cfg.frame_shape = {4};
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  seq2seq::Seq2SeqModel a(cfg, 1), b(cfg, 2);
+  const std::string path = ::testing::TempDir() + "rlattack_s2s.ckpt";
+  ASSERT_TRUE(nn::save_parameters(a.params(), path));
+  ASSERT_TRUE(nn::load_parameters(b.params(), path));
+  util::Rng rng(3);
+  nn::Tensor actions = random_tensor({1, 2, 2}, rng);
+  nn::Tensor obs = random_tensor({1, 2, 4}, rng);
+  nn::Tensor cur = random_tensor({1, 4}, rng);
+  nn::Tensor ya = a.forward(actions, obs, cur);
+  nn::Tensor yb = b.forward(actions, obs, cur);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Seq2SeqSerialize, MismatchedConfigFails) {
+  seq2seq::Seq2SeqConfig cfg;
+  cfg.input_steps = 2;
+  cfg.output_steps = 1;
+  cfg.actions = 2;
+  cfg.frame_shape = {4};
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  seq2seq::Seq2SeqModel a(cfg, 1);
+  cfg.embed = 12;
+  seq2seq::Seq2SeqModel wrong(cfg, 1);
+  const std::string path = ::testing::TempDir() + "rlattack_s2s2.ckpt";
+  ASSERT_TRUE(nn::save_parameters(a.params(), path));
+  EXPECT_FALSE(nn::load_parameters(wrong.params(), path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rlattack

@@ -1,0 +1,222 @@
+// Core pipeline: rollout FIFO, frame accumulator vs FrameStack equivalence,
+// attack session determinism and the threat-model table.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "rlattack/core/experiments.hpp"
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/core/rollout_fifo.hpp"
+#include "rlattack/env/frame_stack.hpp"
+#include "rlattack/env/mini_pong.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/q_agent.hpp"
+
+namespace rlattack::core {
+namespace {
+
+using rlattack::testing::random_tensor;
+
+TEST(RolloutFifo, FillsAfterDepthPushes) {
+  RolloutFifo fifo(3, 4, 2);
+  util::Rng rng(1);
+  EXPECT_FALSE(fifo.full());
+  for (int i = 0; i < 3; ++i) {
+    fifo.push(random_tensor({4}, rng), 0);
+  }
+  EXPECT_TRUE(fifo.full());
+}
+
+TEST(RolloutFifo, CraftingInputsOrderedOldestFirst) {
+  RolloutFifo fifo(2, 3, 2);
+  nn::Tensor f1({3}, {1, 1, 1});
+  nn::Tensor f2({3}, {2, 2, 2});
+  nn::Tensor cur({3}, {9, 9, 9});
+  fifo.push(f1, 0);
+  fifo.push(f2, 1);
+  attack::CraftInputs in = fifo.crafting_inputs(cur);
+  EXPECT_FLOAT_EQ(in.obs_history.at3(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(in.obs_history.at3(0, 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(in.action_history.at3(0, 0, 0), 1.0f);  // a = 0 one-hot
+  EXPECT_FLOAT_EQ(in.action_history.at3(0, 1, 1), 1.0f);  // a = 1 one-hot
+  EXPECT_FLOAT_EQ(in.current_obs.at2(0, 0), 9.0f);
+}
+
+TEST(RolloutFifo, SlidesWindow) {
+  RolloutFifo fifo(2, 1, 2);
+  fifo.push(nn::Tensor({1}, {1.0f}), 0);
+  fifo.push(nn::Tensor({1}, {2.0f}), 0);
+  fifo.push(nn::Tensor({1}, {3.0f}), 1);
+  attack::CraftInputs in = fifo.crafting_inputs(nn::Tensor({1}, {4.0f}));
+  EXPECT_FLOAT_EQ(in.obs_history.at3(0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(in.obs_history.at3(0, 1, 0), 3.0f);
+}
+
+TEST(RolloutFifo, ErrorsOnMisuse) {
+  RolloutFifo fifo(2, 3, 2);
+  EXPECT_THROW(fifo.crafting_inputs(nn::Tensor({3})), std::logic_error);
+  EXPECT_THROW(fifo.push(nn::Tensor({4}), 0), std::logic_error);
+  EXPECT_THROW(fifo.push(nn::Tensor({3}), 5), std::logic_error);
+  EXPECT_THROW(RolloutFifo(0, 1, 1), std::logic_error);
+}
+
+TEST(RolloutFifo, ClearEmptiesWindow) {
+  RolloutFifo fifo(1, 1, 1);
+  fifo.push(nn::Tensor({1}), 0);
+  EXPECT_TRUE(fifo.full());
+  fifo.clear();
+  EXPECT_FALSE(fifo.full());
+}
+
+TEST(FrameAccumulator, MatchesFrameStackSemantics) {
+  // The harness's internal stacking must reproduce env::FrameStack exactly,
+  // otherwise the victim would see different observations under attack
+  // harness vs training.
+  env::MiniPong::Config cfg;
+  env::FrameStack stack(std::make_unique<env::MiniPong>(cfg, 5), 2);
+  env::MiniPong raw(cfg, 5);
+
+  stack.seed(17);
+  raw.seed(17);
+  nn::Tensor stacked_obs = stack.reset();
+  nn::Tensor raw_frame = raw.reset();
+  FrameAccumulator acc(2, raw_frame.size());
+  nn::Tensor acc_obs = acc.push(raw_frame);
+  ASSERT_EQ(acc_obs.size(), stacked_obs.size());
+  for (std::size_t i = 0; i < acc_obs.size(); ++i)
+    EXPECT_FLOAT_EQ(acc_obs[i], stacked_obs[i]);
+
+  util::Rng rng(3);
+  for (int step = 0; step < 30; ++step) {
+    const std::size_t action = rng.uniform_int(raw.action_count());
+    auto ss = stack.step(action);
+    auto rs = raw.step(action);
+    acc_obs = acc.push(rs.observation);
+    for (std::size_t i = 0; i < acc_obs.size(); ++i)
+      ASSERT_FLOAT_EQ(acc_obs[i], ss.observation[i]) << "step " << step;
+    if (ss.done) break;
+  }
+}
+
+TEST(FrameAccumulator, PeekDoesNotMutate) {
+  FrameAccumulator acc(2, 2);
+  acc.push(nn::Tensor({2}, {1, 1}));
+  nn::Tensor peeked = acc.peek_with(nn::Tensor({2}, {5, 5}));
+  EXPECT_FLOAT_EQ(peeked[2], 5.0f);
+  nn::Tensor after = acc.push(nn::Tensor({2}, {2, 2}));
+  // History is {1, 1} then {2, 2}; the peek left no trace.
+  EXPECT_FLOAT_EQ(after[0], 1.0f);
+  EXPECT_FLOAT_EQ(after[2], 2.0f);
+}
+
+TEST(FrameAccumulator, PeekBeforePushThrows) {
+  FrameAccumulator acc(2, 2);
+  EXPECT_THROW(acc.peek_with(nn::Tensor({2})), std::logic_error);
+}
+
+/// Builds a tiny untrained-but-consistent victim + approximator for session
+/// mechanics tests (CartPole keeps them fast).
+struct SessionFixture {
+  rl::AgentPtr victim;
+  std::unique_ptr<seq2seq::Seq2SeqModel> model;
+  attack::AttackPtr attack;
+
+  SessionFixture() {
+    victim = rl::make_dqn_agent(rl::ObsSpec{{4}}, 2, 21);
+    seq2seq::Seq2SeqConfig cfg =
+        seq2seq::make_cartpole_seq2seq_config(/*n=*/4, /*m=*/3);
+    cfg.embed = 8;
+    cfg.lstm_hidden = 6;
+    model = std::make_unique<seq2seq::Seq2SeqModel>(cfg, 22);
+    attack = attack::make_attack(attack::Kind::kGaussian);
+  }
+};
+
+TEST(AttackSession, CleanRunsAreDeterministic) {
+  SessionFixture fx;
+  attack::Budget budget{attack::Budget::Norm::kL2, 0.5f};
+  AttackSession session(*fx.victim, env::Game::kCartPole, *fx.model,
+                        *fx.attack, budget);
+  AttackPolicy clean;
+  EpisodeOutcome a = session.run_episode(clean, 33);
+  EpisodeOutcome b = session.run_episode(clean, 33);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.actions, b.actions);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  EXPECT_EQ(a.attacks_attempted, 0u);
+}
+
+TEST(AttackSession, EveryStepAttackStartsAfterFifoFills) {
+  SessionFixture fx;
+  attack::Budget budget{attack::Budget::Norm::kL2, 0.5f};
+  AttackSession session(*fx.victim, env::Game::kCartPole, *fx.model,
+                        *fx.attack, budget);
+  AttackPolicy policy;
+  policy.mode = AttackPolicy::Mode::kEveryStep;
+  EpisodeOutcome outcome = session.run_episode(policy, 34);
+  // First n steps fill the FIFO, every later step is attacked.
+  ASSERT_GT(outcome.steps, 4u);
+  EXPECT_EQ(outcome.attacks_attempted, outcome.steps - 4u);
+  EXPECT_GT(outcome.mean_l2, 0.0);
+  EXPECT_LE(outcome.mean_l2, 0.5 * 1.001);
+}
+
+TEST(AttackSession, SingleStepFiresOnce) {
+  SessionFixture fx;
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.3f};
+  AttackSession session(*fx.victim, env::Game::kCartPole, *fx.model,
+                        *fx.attack, budget);
+  AttackPolicy policy;
+  policy.mode = AttackPolicy::Mode::kSingleStep;
+  policy.trigger_step = 6;
+  EpisodeOutcome outcome = session.run_episode(policy, 35);
+  EXPECT_EQ(outcome.attacks_attempted, 1u);
+  EXPECT_GE(outcome.fired_step, 6u);
+}
+
+TEST(AttackSession, MismatchedModelThrows) {
+  SessionFixture fx;
+  attack::Budget budget{attack::Budget::Norm::kL2, 0.5f};
+  EXPECT_THROW(AttackSession(*fx.victim, env::Game::kMiniPong, *fx.model,
+                             *fx.attack, budget),
+               std::logic_error);
+}
+
+TEST(AttackSession, ImageGameSessionRuns) {
+  rl::AgentPtr victim =
+      rl::make_dqn_agent(rl::ObsSpec{{2, 16, 16}}, 3, 23);
+  seq2seq::Seq2SeqConfig cfg =
+      seq2seq::make_atari_seq2seq_config({1, 16, 16}, 3, /*n=*/2, /*m=*/1);
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  seq2seq::Seq2SeqModel model(cfg, 24);
+  attack::AttackPtr attack = attack::make_attack(attack::Kind::kFgsm);
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.05f};
+  AttackSession session(*victim, env::Game::kMiniPong, model, *attack,
+                        budget);
+  AttackPolicy policy;
+  policy.mode = AttackPolicy::Mode::kEveryStep;
+  EpisodeOutcome outcome = session.run_episode(policy, 36);
+  EXPECT_GT(outcome.steps, 0u);
+  EXPECT_GT(outcome.attacks_attempted, 0u);
+  // Image perturbations stay within the valid pixel range by construction;
+  // realised Linf never exceeds the budget.
+  EXPECT_LE(outcome.mean_linf, 0.05 * 1.001);
+}
+
+TEST(ThreatModel, TableMatchesPaperShape) {
+  util::TableWriter table = threat_model_table();
+  EXPECT_EQ(table.header().size(), 5u);
+  ASSERT_EQ(table.row_count(), 5u);
+  // Our attack requires none of the four capabilities.
+  const auto& ours = table.rows().back();
+  for (std::size_t c = 1; c < ours.size(); ++c) EXPECT_EQ(ours[c], "no");
+  // Lin et al. need white-box weight access.
+  EXPECT_EQ(table.rows()[3][1], "yes");
+}
+
+TEST(BenchScale, DefaultsToOneOnGarbage) {
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+}
+
+}  // namespace
+}  // namespace rlattack::core

@@ -1,0 +1,223 @@
+// Stateful detector and JSMA attack tests.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "rlattack/core/detector.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+#include "rlattack/attack/attack.hpp"
+#include "rlattack/util/stats.hpp"
+
+namespace rlattack {
+namespace {
+
+using rlattack::testing::random_tensor;
+
+env::Episode smooth_episode(std::size_t length, float step_size,
+                            util::Rng& rng) {
+  env::Episode ep;
+  nn::Tensor state({4});
+  for (std::size_t t = 0; t < length; ++t) {
+    env::Transition tr;
+    for (std::size_t i = 0; i < 4; ++i)
+      state[i] += rng.normal_f(0.0f, step_size);
+    tr.observation = state;
+    ep.steps.push_back(std::move(tr));
+  }
+  return ep;
+}
+
+TEST(StatefulDetector, InvalidConfigThrows) {
+  core::StatefulDetector::Config cfg;
+  cfg.window = 0;
+  EXPECT_THROW(core::StatefulDetector{cfg}, std::logic_error);
+  cfg.window = 5;
+  cfg.alarm_flags = 6;
+  EXPECT_THROW(core::StatefulDetector{cfg}, std::logic_error);
+}
+
+TEST(StatefulDetector, RequiresCalibration) {
+  core::StatefulDetector detector;
+  EXPECT_FALSE(detector.calibrated());
+  EXPECT_THROW(detector.observe(nn::Tensor({4})), std::logic_error);
+  EXPECT_THROW(detector.calibrate(0.1, 0.0), std::logic_error);
+}
+
+TEST(StatefulDetector, CleanStreamStaysQuiet) {
+  util::Rng rng(1);
+  std::vector<env::Episode> calib;
+  for (int i = 0; i < 5; ++i) calib.push_back(smooth_episode(50, 0.05f, rng));
+  core::StatefulDetector detector;
+  detector.calibrate(calib);
+
+  env::Episode clean = smooth_episode(80, 0.05f, rng);
+  detector.reset();
+  bool alarmed = false;
+  for (const auto& step : clean.steps)
+    alarmed = detector.observe(step.observation);
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(StatefulDetector, PersistentPerturbationAlarms) {
+  util::Rng rng(2);
+  std::vector<env::Episode> calib;
+  for (int i = 0; i < 5; ++i) calib.push_back(smooth_episode(50, 0.05f, rng));
+  core::StatefulDetector detector;
+  detector.calibrate(calib);
+
+  // Perturb every frame with independent noise much larger than the clean
+  // step size: delta norms jump every step.
+  env::Episode attacked = smooth_episode(60, 0.05f, rng);
+  for (auto& step : attacked.steps)
+    for (float& x : step.observation.data())
+      x += rng.normal_f(0.0f, 0.5f);
+  detector.reset();
+  bool alarmed = false;
+  for (const auto& step : attacked.steps)
+    alarmed = detector.observe(step.observation);
+  EXPECT_TRUE(alarmed);
+  EXPECT_GE(detector.flag_count(), detector.config().alarm_flags);
+}
+
+TEST(StatefulDetector, SingleFrameInjectionStaysBelowAlarm) {
+  util::Rng rng(3);
+  std::vector<env::Episode> calib;
+  for (int i = 0; i < 5; ++i) calib.push_back(smooth_episode(50, 0.05f, rng));
+  core::StatefulDetector detector;
+  detector.calibrate(calib);
+
+  // One large injected frame (the time-bomb pattern): at most two flags
+  // (entering and leaving the perturbed frame) — no alarm at the default
+  // 5-flag threshold.
+  env::Episode bombed = smooth_episode(60, 0.05f, rng);
+  for (float& x : bombed.steps[30].observation.data()) x += 0.5f;
+  detector.reset();
+  bool alarmed = false;
+  for (const auto& step : bombed.steps)
+    alarmed = detector.observe(step.observation);
+  EXPECT_FALSE(alarmed);
+  EXPECT_LE(detector.flag_count(), 2u);
+  EXPECT_GE(detector.flag_count(), 1u);
+}
+
+TEST(StatefulDetector, ResetClearsState) {
+  core::StatefulDetector detector;
+  detector.calibrate(1.0, 0.1);
+  nn::Tensor a({2}, {0.0f, 0.0f});
+  nn::Tensor b({2}, {100.0f, 100.0f});
+  for (int i = 0; i < 12; ++i) {
+    detector.observe(a);
+    detector.observe(b);
+  }
+  EXPECT_TRUE(detector.alarmed());
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_EQ(detector.flag_count(), 0u);
+}
+
+// --- JSMA ---
+
+seq2seq::Seq2SeqConfig jsma_toy_config() {
+  seq2seq::Seq2SeqConfig c;
+  c.input_steps = 2;
+  c.output_steps = 1;
+  c.actions = 2;
+  c.frame_shape = {6};
+  c.embed = 12;
+  c.lstm_hidden = 8;
+  return c;
+}
+
+std::unique_ptr<seq2seq::Seq2SeqModel> jsma_toy_model() {
+  util::Rng rng(17);
+  std::vector<env::Episode> episodes(16);
+  for (auto& ep : episodes) {
+    for (std::size_t t = 0; t < 20; ++t) {
+      env::Transition tr;
+      tr.observation = random_tensor({6}, rng);
+      tr.action = tr.observation[0] > 0.0f ? 1u : 0u;
+      ep.steps.push_back(std::move(tr));
+    }
+  }
+  auto cfg = jsma_toy_config();
+  auto model = std::make_unique<seq2seq::Seq2SeqModel>(cfg, 18);
+  seq2seq::EpisodeDataset ds(episodes, cfg.input_steps, cfg.output_steps, 6,
+                             2);
+  util::Rng train_rng(19);
+  auto [train, eval] = ds.split(0.9, train_rng);
+  seq2seq::TrainSettings settings;
+  settings.epochs = 25;
+  settings.batches_per_epoch = 16;
+  seq2seq::train_seq2seq(*model, ds, train, eval, settings, train_rng);
+  return model;
+}
+
+attack::CraftInputs jsma_inputs(util::Rng& rng) {
+  attack::CraftInputs in;
+  in.action_history = random_tensor({1, 2, 2}, rng);
+  in.obs_history = random_tensor({1, 2, 6}, rng);
+  in.current_obs = random_tensor({1, 6}, rng);
+  return in;
+}
+
+TEST(Jsma, PerturbationIsSparse) {
+  auto model = jsma_toy_model();
+  util::Rng rng(20);
+  attack::JsmaAttack jsma(2);  // touch at most 2 of 6 features
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.5f};
+  env::ObservationBounds bounds{-10.0f, 10.0f};
+  for (int trial = 0; trial < 5; ++trial) {
+    attack::CraftInputs inputs = jsma_inputs(rng);
+    nn::Tensor adv =
+        jsma.perturb(*model, inputs, attack::Goal{}, budget, bounds, rng);
+    int changed = 0;
+    for (std::size_t i = 0; i < adv.size(); ++i)
+      if (adv[i] != inputs.current_obs[i]) ++changed;
+    EXPECT_LE(changed, 2);
+  }
+}
+
+TEST(Jsma, RespectsBudget) {
+  auto model = jsma_toy_model();
+  util::Rng rng(21);
+  attack::JsmaAttack jsma(4);
+  for (auto norm : {attack::Budget::Norm::kL2, attack::Budget::Norm::kLinf}) {
+    attack::Budget budget{norm, 0.6f};
+    env::ObservationBounds bounds{-10.0f, 10.0f};
+    attack::CraftInputs inputs = jsma_inputs(rng);
+    nn::Tensor adv =
+        jsma.perturb(*model, inputs, attack::Goal{}, budget, bounds, rng);
+    nn::Tensor delta = adv;
+    delta -= inputs.current_obs;
+    const double realized = norm == attack::Budget::Norm::kL2
+                                ? util::l2_norm(delta.data())
+                                : util::linf_norm(delta.data());
+    EXPECT_LE(realized, 0.6 * 1.001);
+  }
+}
+
+TEST(Jsma, FlipsMoreThanChanceOnToyModel) {
+  auto model = jsma_toy_model();
+  util::Rng rng(22);
+  attack::JsmaAttack jsma(6);
+  attack::Budget budget{attack::Budget::Norm::kLinf, 1.5f};
+  env::ObservationBounds bounds{-10.0f, 10.0f};
+  std::size_t flips = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    attack::CraftInputs inputs = jsma_inputs(rng);
+    const auto pred = attack::predict_actions(*model, inputs);
+    nn::Tensor adv =
+        jsma.perturb(*model, inputs, attack::Goal{}, budget, bounds, rng);
+    attack::CraftInputs perturbed = inputs;
+    perturbed.current_obs = adv;
+    if (attack::predict_actions(*model, perturbed)[0] != pred[0]) ++flips;
+  }
+  EXPECT_GE(flips * 2, trials);  // at least half flip with a generous budget
+}
+
+TEST(Jsma, InvalidConfigThrows) {
+  EXPECT_THROW(attack::JsmaAttack(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rlattack

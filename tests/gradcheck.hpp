@@ -1,0 +1,109 @@
+// Numeric gradient checking for layers: compares analytic backward results
+// against central finite differences of a scalar probe loss
+// L = sum(forward(x) * R) for a fixed random projection R.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "rlattack/nn/layer.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack::testing {
+
+inline nn::Tensor random_tensor(std::vector<std::size_t> shape,
+                                util::Rng& rng, float scale = 1.0f) {
+  nn::Tensor t(std::move(shape));
+  for (float& x : t.data()) x = rng.normal_f(0.0f, scale);
+  return t;
+}
+
+/// Relative error metric tolerant of tiny denominators: float32 forward
+/// passes bound the useful finite-difference resolution near 1e-5 absolute,
+/// so gradients that small compare in absolute terms via the 1e-3 floor.
+inline double rel_err(double a, double b) {
+  const double denom = std::max({std::abs(a), std::abs(b), 1e-3});
+  return std::abs(a - b) / denom;
+}
+
+/// Checks d(sum(f(x) * R))/dx against finite differences. The layer must be
+/// freshly usable (forward/backward pairs). Non-differentiable points
+/// (ReLU kinks, maxpool ties) are unlikely under random inputs.
+inline void check_input_gradient(nn::Layer& layer, const nn::Tensor& input,
+                                 util::Rng& rng, double tolerance = 2e-2,
+                                 float fd_eps = 1e-2f) {
+  nn::Tensor out = layer.forward(input);
+  nn::Tensor projection = random_tensor(out.shape(), rng);
+
+  layer.zero_grad();
+  nn::Tensor analytic = layer.backward(projection);
+  ASSERT_TRUE(analytic.same_shape(input));
+
+  auto probe = [&](const nn::Tensor& x) -> double {
+    nn::Tensor y = layer.forward(x);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      s += static_cast<double>(y[i]) * static_cast<double>(projection[i]);
+    return s;
+  };
+
+  nn::Tensor x = input;
+  // Check a subset of coordinates for large tensors to bound test cost.
+  const std::size_t stride = std::max<std::size_t>(1, x.size() / 64);
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    const float orig = x[i];
+    x[i] = orig + fd_eps;
+    const double up = probe(x);
+    x[i] = orig - fd_eps;
+    const double down = probe(x);
+    x[i] = orig;
+    const double numeric = (up - down) / (2.0 * fd_eps);
+    EXPECT_LT(rel_err(analytic[i], numeric), tolerance)
+        << "input grad mismatch at " << i << ": analytic " << analytic[i]
+        << " numeric " << numeric;
+  }
+  // Restore the layer's forward cache for any subsequent use.
+  layer.forward(input);
+}
+
+/// Checks every parameter gradient against finite differences.
+inline void check_param_gradients(nn::Layer& layer, const nn::Tensor& input,
+                                  util::Rng& rng, double tolerance = 2e-2,
+                                  float fd_eps = 1e-2f) {
+  nn::Tensor out = layer.forward(input);
+  nn::Tensor projection = random_tensor(out.shape(), rng);
+
+  layer.zero_grad();
+  (void)layer.backward(projection);
+
+  auto probe = [&]() -> double {
+    nn::Tensor y = layer.forward(input);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      s += static_cast<double>(y[i]) * static_cast<double>(projection[i]);
+    return s;
+  };
+
+  for (nn::Param& p : layer.params()) {
+    auto values = p.value->data();
+    auto grads = p.grad->data();
+    const std::size_t stride = std::max<std::size_t>(1, values.size() / 32);
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+      const float orig = values[i];
+      values[i] = orig + fd_eps;
+      const double up = probe();
+      values[i] = orig - fd_eps;
+      const double down = probe();
+      values[i] = orig;
+      const double numeric = (up - down) / (2.0 * fd_eps);
+      EXPECT_LT(rel_err(grads[i], numeric), tolerance)
+          << "param grad mismatch in " << p.name << " at " << i
+          << ": analytic " << grads[i] << " numeric " << numeric;
+    }
+  }
+  layer.forward(input);
+}
+
+}  // namespace rlattack::testing

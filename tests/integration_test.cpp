@@ -1,0 +1,137 @@
+// End-to-end integration: train a real DQN victim on CartPole, observe it,
+// build the seq2seq approximator with Algorithm 1, and attack — the full
+// Figure-2 pipeline at reduced scale.
+#include <gtest/gtest.h>
+
+#include "rlattack/core/pipeline.hpp"
+#include "rlattack/env/cartpole.hpp"
+#include "rlattack/rl/factory.hpp"
+#include "rlattack/rl/q_agent.hpp"
+#include "rlattack/rl/trainer.hpp"
+#include "rlattack/seq2seq/trainer.hpp"
+#include "rlattack/util/stats.hpp"
+
+namespace rlattack {
+namespace {
+
+struct Pipeline {
+  rl::AgentPtr victim;
+  std::unique_ptr<seq2seq::Seq2SeqModel> model;
+  double victim_score = 0.0;
+  double approx_accuracy = 0.0;
+
+  // Train once, share across tests (expensive setup).
+  static Pipeline& instance() {
+    static Pipeline p = build();
+    return p;
+  }
+
+  static Pipeline build() {
+    Pipeline p;
+    env::CartPole train_env(env::CartPole::Config{}, 51);
+    p.victim = rl::make_dqn_agent(rl::ObsSpec{{4}}, 2, 51);
+    rl::TrainConfig tc;
+    tc.episodes = 250;
+    tc.target_reward = 150.0;
+    rl::train_agent(*p.victim, train_env, tc);
+    env::CartPole eval_env(env::CartPole::Config{}, 52);
+    p.victim_score =
+        util::mean_of(rl::evaluate_agent(*p.victim, eval_env, 5, 500));
+
+    // Passive observation + Algorithm 1.
+    env::CartPole obs_env(env::CartPole::Config{}, 53);
+    auto episodes = rl::collect_episodes(*p.victim, obs_env, 20, 53);
+    auto make_config = [](std::size_t n) {
+      seq2seq::Seq2SeqConfig cfg =
+          seq2seq::make_cartpole_seq2seq_config(n, 1);
+      cfg.embed = 24;
+      cfg.lstm_hidden = 16;
+      return cfg;
+    };
+    seq2seq::TrainSettings settings;
+    settings.epochs = 40;
+    settings.batches_per_epoch = 24;
+    std::vector<std::size_t> candidates{4, 8};
+    auto result = seq2seq::build_approximator(episodes, candidates,
+                                              make_config, settings, 54);
+    p.model = std::move(result.model);
+    p.approx_accuracy = result.outcome.eval_accuracy;
+    return p;
+  }
+};
+
+TEST(EndToEnd, VictimLearnsCartPole) {
+  EXPECT_GT(Pipeline::instance().victim_score, 100.0);
+}
+
+TEST(EndToEnd, ApproximatorPredictsVictimActions) {
+  // Section 5.2's claim at small scale: passive imitation reaches high
+  // next-action accuracy.
+  EXPECT_GT(Pipeline::instance().approx_accuracy, 0.8);
+}
+
+TEST(EndToEnd, EveryStepFgsmReducesReward) {
+  Pipeline& p = Pipeline::instance();
+  attack::AttackPtr fgsm = attack::make_attack(attack::Kind::kFgsm);
+  attack::Budget big{attack::Budget::Norm::kL2, 2.0f};
+  core::AttackSession session(*p.victim, env::Game::kCartPole, *p.model,
+                              *fgsm, big);
+
+  core::AttackPolicy clean;
+  core::AttackPolicy attacked;
+  attacked.mode = core::AttackPolicy::Mode::kEveryStep;
+
+  util::RunningStats clean_rewards, attacked_rewards;
+  for (std::uint64_t run = 0; run < 8; ++run) {
+    clean_rewards.add(session.run_episode(clean, 60 + run).total_reward);
+    attacked_rewards.add(
+        session.run_episode(attacked, 60 + run).total_reward);
+  }
+  // A large-budget every-step attack must visibly damage the score.
+  EXPECT_LT(attacked_rewards.mean(), clean_rewards.mean() * 0.75)
+      << "clean " << clean_rewards.mean() << " attacked "
+      << attacked_rewards.mean();
+}
+
+TEST(EndToEnd, TransferabilityAboveZero) {
+  Pipeline& p = Pipeline::instance();
+  attack::AttackPtr fgsm = attack::make_attack(attack::Kind::kFgsm);
+  attack::Budget budget{attack::Budget::Norm::kL2, 1.0f};
+  core::AttackSession session(*p.victim, env::Game::kCartPole, *p.model,
+                              *fgsm, budget);
+  core::AttackPolicy policy;
+  policy.mode = core::AttackPolicy::Mode::kEveryStep;
+  std::size_t flips = 0, samples = 0;
+  for (std::uint64_t run = 0; run < 5; ++run) {
+    auto outcome = session.run_episode(policy, 70 + run);
+    flips += outcome.immediate_flips;
+    samples += outcome.attacks_attempted;
+  }
+  ASSERT_GT(samples, 0u);
+  EXPECT_GT(flips, 0u);
+}
+
+TEST(EndToEnd, CounterfactualPairsDivergeOnlyAfterTrigger) {
+  Pipeline& p = Pipeline::instance();
+  attack::AttackPtr fgsm = attack::make_attack(attack::Kind::kFgsm);
+  attack::Budget budget{attack::Budget::Norm::kLinf, 0.5f};
+  core::AttackSession session(*p.victim, env::Game::kCartPole, *p.model,
+                              *fgsm, budget);
+
+  core::AttackPolicy clean;
+  core::AttackPolicy bomb;
+  bomb.mode = core::AttackPolicy::Mode::kSingleStep;
+  bomb.trigger_step = 10;
+  bomb.goal_mode = attack::Goal::Mode::kTargeted;
+  bomb.position = 0;
+
+  auto baseline = session.run_episode(clean, 80);
+  auto attacked = session.run_episode(bomb, 80);
+  ASSERT_NE(attacked.fired_step, static_cast<std::size_t>(-1));
+  // Determinism: identical actions strictly before the injection step.
+  for (std::size_t t = 0; t < attacked.fired_step; ++t)
+    ASSERT_EQ(baseline.actions[t], attacked.actions[t]) << "step " << t;
+}
+
+}  // namespace
+}  // namespace rlattack

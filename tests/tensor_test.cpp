@@ -1,0 +1,118 @@
+#include "rlattack/nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlattack::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_THROW(t.dim(3), std::logic_error);
+}
+
+TEST(Tensor, ConstructWithData) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, ConstructSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f}), std::logic_error);
+}
+
+TEST(Tensor, ZeroExtentThrows) {
+  EXPECT_THROW(Tensor({2, 0}), std::logic_error);
+}
+
+TEST(Tensor, At3Indexing) {
+  Tensor t({2, 3, 4});
+  t.at3(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, BoundsCheckedAt) {
+  Tensor t({2});
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), std::logic_error);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.dim(1), 4u);
+  EXPECT_THROW(t.reshaped({5}), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({4}, {1, 2, 3, 4});
+  Tensor r = t.reshaped({2, 2});
+  EXPECT_EQ(r.at2(1, 1), 4.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3});
+  t.fill(2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ElementwiseAddSub) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {10, 20});
+  a += b;
+  EXPECT_EQ(a[1], 22.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, std::logic_error);
+  EXPECT_THROW(a -= b, std::logic_error);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a({2}, {1, -2});
+  a *= -2.0f;
+  EXPECT_EQ(a[0], -2.0f);
+  EXPECT_EQ(a[1], 4.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({6}).same_shape(Tensor({2, 3})));
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "[2, 3]");
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from_vector({1, 2, 3});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rlattack::nn
