@@ -6,8 +6,10 @@
 #include "rlattack/attack/attack.hpp"
 #include "rlattack/nn/conv2d.hpp"
 #include "rlattack/nn/dense.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
 #include "rlattack/nn/lstm.hpp"
 #include "rlattack/seq2seq/model.hpp"
+#include "rlattack/util/thread_pool.hpp"
 
 namespace {
 
@@ -27,7 +29,7 @@ void BM_DenseForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(dense.forward(x));
   state.SetItemsProcessed(state.iterations() * 32);
 }
-BENCHMARK(BM_DenseForward)->Arg(64)->Arg(256);
+BENCHMARK(BM_DenseForward)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_DenseBackward(benchmark::State& state) {
   util::Rng rng(1);
@@ -41,7 +43,37 @@ void BM_DenseBackward(benchmark::State& state) {
     dense.zero_grad();
   }
 }
-BENCHMARK(BM_DenseBackward)->Arg(64)->Arg(256);
+BENCHMARK(BM_DenseBackward)->Arg(64)->Arg(256)->Arg(512);
+
+/// Raw kernel throughput at classic GEMM shapes, serial vs pooled: arg 0 is
+/// the square size, arg 1 the worker count (0 = RLATTACK_THREADS default).
+/// Comparing /threads:1 rows against the others shows the pool speedup in
+/// the CSV output.
+void BM_SgemmSquare(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  util::ThreadPool::reset_global(threads);
+  nn::Tensor a = random_tensor({n, n}, rng);
+  nn::Tensor b = random_tensor({n, n}, rng);
+  nn::Tensor c({n, n});
+  for (auto _ : state) {
+    nn::kernels::sgemm(nn::kernels::Trans::kNo, nn::kernels::Trans::kNo, n, n,
+                       n, a.raw(), n, b.raw(), n, c.raw(), n, false);
+    benchmark::DoNotOptimize(c.raw());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+  util::ThreadPool::reset_global(0);
+}
+BENCHMARK(BM_SgemmSquare)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({512, 1})
+    ->Args({512, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 0});
 
 void BM_Conv2DForward(benchmark::State& state) {
   util::Rng rng(2);

@@ -1,11 +1,104 @@
 #include "rlattack/nn/conv2d.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "rlattack/nn/init.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
+#include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::nn {
+
+namespace {
+
+// Per-thread im2col / col2im scratch, cached across calls (and across Conv2D
+// instances — resized up as needed, never shrunk below capacity).
+thread_local std::vector<float> tl_col;
+thread_local std::vector<float> tl_dcol;
+
+struct ConvGeom {
+  std::size_t in_c, h, w, k, stride, pad, oh, ow;
+};
+
+// Lowers one [C, H, W] item into col[C*k*k, OH*OW]: row (ic, ky, kx) holds
+// the input value each output position reads through that kernel tap, with
+// zeros where the tap falls in the padding.
+void im2col(const ConvGeom& g, const float* x, float* col) {
+  const std::size_t ohow = g.oh * g.ow;
+  float* crow = col;
+  for (std::size_t ic = 0; ic < g.in_c; ++ic) {
+    const float* xplane = x + ic * g.h * g.w;
+    for (std::size_t ky = 0; ky < g.k; ++ky) {
+      for (std::size_t kx = 0; kx < g.k; ++kx, crow += ohow) {
+        // Valid ox range: 0 <= ox*stride + kx - pad < w.
+        const std::size_t ox_lo =
+            kx >= g.pad ? 0 : (g.pad - kx + g.stride - 1) / g.stride;
+        const std::size_t ox_hi =
+            g.w + g.pad > kx
+                ? std::min(g.ow, (g.w - 1 + g.pad - kx) / g.stride + 1)
+                : 0;
+        for (std::size_t oy = 0; oy < g.oh; ++oy) {
+          float* dst = crow + oy * g.ow;
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.h)) {
+            std::memset(dst, 0, g.ow * sizeof(float));
+            continue;
+          }
+          const float* xrow = xplane + static_cast<std::size_t>(iy) * g.w;
+          std::size_t ox = 0;
+          for (; ox < ox_lo; ++ox) dst[ox] = 0.0f;
+          if (g.stride == 1) {
+            if (ox_hi > ox_lo)
+              std::memcpy(dst + ox_lo, xrow + ox_lo + kx - g.pad,
+                          (ox_hi - ox_lo) * sizeof(float));
+            ox = std::max(ox, ox_hi);
+          } else {
+            for (; ox < ox_hi; ++ox)
+              dst[ox] = xrow[ox * g.stride + kx - g.pad];
+          }
+          for (; ox < g.ow; ++ox) dst[ox] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Scatters dcol[C*k*k, OH*OW] back into the [C, H, W] input gradient,
+// accumulating where receptive fields overlap. Exact adjoint of im2col.
+void col2im_accumulate(const ConvGeom& g, const float* dcol, float* gx) {
+  const std::size_t ohow = g.oh * g.ow;
+  const float* crow = dcol;
+  for (std::size_t ic = 0; ic < g.in_c; ++ic) {
+    float* gxplane = gx + ic * g.h * g.w;
+    for (std::size_t ky = 0; ky < g.k; ++ky) {
+      for (std::size_t kx = 0; kx < g.k; ++kx, crow += ohow) {
+        const std::size_t ox_lo =
+            kx >= g.pad ? 0 : (g.pad - kx + g.stride - 1) / g.stride;
+        const std::size_t ox_hi =
+            g.w + g.pad > kx
+                ? std::min(g.ow, (g.w - 1 + g.pad - kx) / g.stride + 1)
+                : 0;
+        for (std::size_t oy = 0; oy < g.oh; ++oy) {
+          const float* src = crow + oy * g.ow;
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.h)) continue;
+          float* gxrow = gxplane + static_cast<std::size_t>(iy) * g.w;
+          for (std::size_t ox = ox_lo; ox < ox_hi; ++ox)
+            gxrow[ox * g.stride + kx - g.pad] += src[ox];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t pad,
@@ -39,44 +132,33 @@ Tensor Conv2D::forward(const Tensor& input) {
   cached_input_ = input;
   const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::size_t oh = out_extent(h), ow = out_extent(w);
-  Tensor out({batch, out_c_, oh, ow});
+  // Reusable output buffer: only reallocated when the geometry changes.
+  if (out_buf_.rank() != 4 || out_buf_.dim(0) != batch ||
+      out_buf_.dim(2) != oh || out_buf_.dim(3) != ow)
+    out_buf_ = Tensor({batch, out_c_, oh, ow});
 
+  const ConvGeom geom{in_c_, h, w, k_, stride_, pad_, oh, ow};
+  const std::size_t ckk = in_c_ * k_ * k_;
+  const std::size_t ohow = oh * ow;
   const float* x = input.raw();
-  const float* wt = weight_.raw();
-  float* y = out.raw();
-  const auto in_plane = h * w;
-  const auto out_plane = oh * ow;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      float* yplane = y + (b * out_c_ + oc) * out_plane;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          float acc = bias_[oc];
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            const float* xplane = x + (b * in_c_ + ic) * in_plane;
-            const float* wrow = wt + ((oc * in_c_ + ic) * k_) * k_;
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                acc += wrow[ky * k_ + kx] *
-                       xplane[static_cast<std::size_t>(iy) * w +
-                              static_cast<std::size_t>(ix)];
-              }
-            }
-          }
-          yplane[oy * ow + ox] = acc;
+  float* y = out_buf_.raw();
+  // One im2col + GEMM per batch item; items are independent, so the batch
+  // fans out over the pool (the nested sgemm then runs inline per worker).
+  util::ThreadPool::global().parallel_for(
+      batch, /*grain=*/1, [&](std::size_t b0, std::size_t b1) {
+        tl_col.resize(ckk * ohow);
+        for (std::size_t b = b0; b < b1; ++b) {
+          im2col(geom, x + b * in_c_ * h * w, tl_col.data());
+          float* yb = y + b * out_c_ * ohow;
+          for (std::size_t oc = 0; oc < out_c_; ++oc)
+            std::fill(yb + oc * ohow, yb + (oc + 1) * ohow, bias_[oc]);
+          // [out_c, OH*OW] += [out_c, C*k*k] x [C*k*k, OH*OW]
+          kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kNo, out_c_,
+                         ohow, ckk, weight_.raw(), ckk, tl_col.data(), ohow,
+                         yb, ohow, /*accumulate=*/true);
         }
-      }
-    }
-  }
-  return out;
+      });
+  return out_buf_;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
@@ -90,46 +172,52 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
                            grad_output.shape_string());
 
   Tensor grad_input({batch, in_c_, h, w});
+  const ConvGeom geom{in_c_, h, w, k_, stride_, pad_, oh, ow};
+  const std::size_t ckk = in_c_ * k_ * k_;
+  const std::size_t ohow = oh * ow;
   const float* x = cached_input_.raw();
-  const float* wt = weight_.raw();
   const float* g = grad_output.raw();
   float* gx = grad_input.raw();
-  float* gw = grad_weight_.raw();
-  const auto in_plane = h * w;
-  const auto out_plane = oh * ow;
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      const float* gplane = g + (b * out_c_ + oc) * out_plane;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const float go = gplane[oy * ow + ox];
-          if (go == 0.0f) continue;
-          grad_bias_[oc] += go;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            const float* xplane = x + (b * in_c_ + ic) * in_plane;
-            float* gxplane = gx + (b * in_c_ + ic) * in_plane;
-            const std::size_t wbase = ((oc * in_c_ + ic) * k_) * k_;
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const std::size_t xi = static_cast<std::size_t>(iy) * w +
-                                       static_cast<std::size_t>(ix);
-                gw[wbase + ky * k_ + kx] += go * xplane[xi];
-                gxplane[xi] += go * wt[wbase + ky * k_ + kx];
-              }
-            }
+  // Weight/bias gradients are shared across batch items, so each chunk
+  // accumulates into its own buffer and the chunks are reduced in index
+  // order afterwards. Chunk layout depends only on (batch, grain), keeping
+  // the result bit-identical for every RLATTACK_THREADS setting.
+  auto& pool = util::ThreadPool::global();
+  const std::size_t grain = 4;
+  const std::size_t nchunks = util::ThreadPool::chunk_count(batch, grain);
+  std::vector<Tensor> gw_chunks(nchunks, Tensor({out_c_, ckk}));
+  std::vector<Tensor> gb_chunks(nchunks, Tensor({out_c_}));
+  pool.parallel_for_chunks(
+      batch, grain,
+      [&](std::size_t chunk, std::size_t b0, std::size_t b1) {
+        tl_col.resize(ckk * ohow);
+        tl_dcol.resize(ckk * ohow);
+        float* gw_acc = gw_chunks[chunk].raw();
+        float* gb_acc = gb_chunks[chunk].raw();
+        for (std::size_t b = b0; b < b1; ++b) {
+          const float* gb_plane = g + b * out_c_ * ohow;
+          im2col(geom, x + b * in_c_ * h * w, tl_col.data());
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            const float* row = gb_plane + oc * ohow;
+            float s = 0.0f;
+            for (std::size_t i = 0; i < ohow; ++i) s += row[i];
+            gb_acc[oc] += s;
           }
+          // dW += g_b col^T : [out_c, C*k*k]
+          kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kYes, out_c_,
+                         ckk, ohow, gb_plane, ohow, tl_col.data(), ohow,
+                         gw_acc, ckk, /*accumulate=*/true);
+          // dcol = W^T g_b : [C*k*k, OH*OW], then scatter back to the input.
+          kernels::sgemm(kernels::Trans::kYes, kernels::Trans::kNo, ckk, ohow,
+                         out_c_, weight_.raw(), ckk, gb_plane, ohow,
+                         tl_dcol.data(), ohow, /*accumulate=*/false);
+          col2im_accumulate(geom, tl_dcol.data(), gx + b * in_c_ * h * w);
         }
-      }
-    }
+      });
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    grad_weight_ += gw_chunks[c].reshaped({out_c_, in_c_, k_, k_});
+    grad_bias_ += gb_chunks[c];
   }
   return grad_input;
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "rlattack/nn/init.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
 
 namespace rlattack::nn {
 
@@ -31,20 +32,16 @@ Tensor Dense::forward(const Tensor& input) {
                            input.shape_string());
   cached_input_ = x;
   const std::size_t batch = x.dim(0);
-  Tensor y({batch, out_});
-  const float* wd = weight_.raw();
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* xb = x.raw() + b * in_;
-    float* yb = y.raw() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wrow = wd + o * in_;
-      float acc = bias_[o];
-      for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xb[i];
-      yb[o] = acc;
-    }
-  }
-  if (input_was_rank1_) return y.reshaped({out_});
-  return y;
+  // Reusable output buffer: only reallocated when the batch size changes.
+  if (out_buf_.rank() != 2 || out_buf_.dim(0) != batch)
+    out_buf_ = Tensor({batch, out_});
+  // y = bias (broadcast per row), then y += x W^T in one GEMM.
+  kernels::broadcast_bias_rows(batch, out_, bias_.raw(), out_buf_.raw(), out_);
+  kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kYes, batch, out_, in_,
+                 x.raw(), in_, weight_.raw(), in_, out_buf_.raw(), out_,
+                 /*accumulate=*/true);
+  if (input_was_rank1_) return out_buf_.reshaped({out_});
+  return out_buf_;
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
@@ -57,23 +54,16 @@ Tensor Dense::backward(const Tensor& grad_output) {
                            grad_output.shape_string());
   const std::size_t batch = g.dim(0);
   Tensor grad_input({batch, in_});
-  const float* wd = weight_.raw();
-  float* gw = grad_weight_.raw();
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* gb = g.raw() + b * out_;
-    const float* xb = cached_input_.raw() + b * in_;
-    float* gi = grad_input.raw() + b * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float go = gb[o];
-      grad_bias_[o] += go;
-      const float* wrow = wd + o * in_;
-      float* gwrow = gw + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) {
-        gwrow[i] += go * xb[i];
-        gi[i] += go * wrow[i];
-      }
-    }
-  }
+  // dx = g W
+  kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kNo, batch, in_, out_,
+                 g.raw(), out_, weight_.raw(), in_, grad_input.raw(), in_,
+                 /*accumulate=*/false);
+  // dW += g^T x
+  kernels::sgemm(kernels::Trans::kYes, kernels::Trans::kNo, out_, in_, batch,
+                 g.raw(), out_, cached_input_.raw(), in_, grad_weight_.raw(),
+                 in_, /*accumulate=*/true);
+  // db += column sums of g
+  kernels::col_sums_accumulate(batch, out_, g.raw(), out_, grad_bias_.raw());
   if (input_was_rank1_) return grad_input.reshaped({in_});
   return grad_input;
 }

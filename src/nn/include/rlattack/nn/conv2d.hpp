@@ -1,7 +1,9 @@
 // 2-D convolution over [B, C, H, W] tensors, with stride and zero padding.
-// Direct (non-im2col) implementation: the frames in this project are small
-// (<= 32x32), so the simple loop nest is fast enough and easy to verify
-// against numeric gradients.
+// im2col + GEMM formulation: each batch item's receptive fields are lowered
+// into a [C*k*k, OH*OW] column matrix (scratch cached across calls) and the
+// convolution becomes one kernels::sgemm per item, batch-parallel on the
+// shared thread pool. Backward runs the transposed GEMMs plus col2im, with
+// weight/bias gradients reduced in deterministic chunk order.
 #pragma once
 
 #include "rlattack/nn/layer.hpp"
@@ -25,11 +27,12 @@ class Conv2D final : public Layer {
 
  private:
   std::size_t in_c_, out_c_, k_, stride_, pad_;
-  Tensor weight_;       // [out_c, in_c, k, k]
+  Tensor weight_;       // [out_c, in_c, k, k] — rows are GEMM-ready [out_c, C*k*k]
   Tensor bias_;         // [out_c]
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_;  // [B, C, H, W]
+  Tensor out_buf_;       // [B, out_c, OH, OW], reused across forward calls
 };
 
 /// Max pooling over non-overlapping (or strided) windows on [B, C, H, W].

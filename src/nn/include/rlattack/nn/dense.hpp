@@ -9,8 +9,9 @@ namespace rlattack::nn {
 ///
 /// Input  [B, in_features]  (or [in_features], treated as B = 1)
 /// Output [B, out_features]
-/// Weight stored as [out_features, in_features] so each output row is a dot
-/// product with a contiguous weight row.
+/// Weight stored as [out_features, in_features]; forward/backward are three
+/// kernels::sgemm calls (y = x W^T + b, dx = g W, dW += g^T x), so all the
+/// arithmetic runs on the shared cache-blocked, pool-parallel GEMM path.
 class Dense final : public Layer {
  public:
   Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng,
@@ -32,6 +33,7 @@ class Dense final : public Layer {
   Tensor grad_weight_;  // same shapes as the values
   Tensor grad_bias_;
   Tensor cached_input_;  // [B, in], saved by forward for the backward pass
+  Tensor out_buf_;       // [B, out], reused across forward calls
   bool input_was_rank1_ = false;
 };
 

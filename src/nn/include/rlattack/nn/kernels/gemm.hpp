@@ -1,0 +1,43 @@
+// Shared compute kernels for the NN substrate. Every hot layer (Dense,
+// Conv2D via im2col, Lstm's fused gate matmuls) routes its matrix products
+// through the one cache-blocked, pool-parallel `sgemm` below, so a single
+// optimisation point serves victim training, seq2seq approximator training
+// and per-step FGSM/PGD attack crafting alike.
+//
+// Determinism: for fixed operand values the result is bit-identical for any
+// RLATTACK_THREADS setting — the pool partitions output rows (each row's
+// accumulation order is fixed by the K-blocking, not by the thread count).
+#pragma once
+
+#include <cstddef>
+
+namespace rlattack::nn::kernels {
+
+enum class Trans : bool { kNo = false, kYes = true };
+
+/// C = op(A) * op(B), or C += op(A) * op(B) when `accumulate` (backward
+/// passes += into gradient buffers).
+///
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n. `lda`/`ldb`/`ldc` are
+/// leading dimensions of the *physical* row-major arrays: A is m x k when
+/// `ta == Trans::kNo` and k x m when `ta == Trans::kYes` (same for B). All
+/// four transpose combinations are supported.
+void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+           const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float* c, std::size_t ldc, bool accumulate);
+
+/// y[i] += alpha * x[i] for i in [0, n).
+void axpy(std::size_t n, float alpha, const float* x, float* y) noexcept;
+
+/// Initialises each of the m rows of dst (leading dimension ldd) with the
+/// n-vector `bias` — the "y = bias, then sgemm-accumulate" idiom that avoids
+/// a separate zero-fill pass.
+void broadcast_bias_rows(std::size_t m, std::size_t n, const float* bias,
+                         float* dst, std::size_t ldd) noexcept;
+
+/// out[j] += sum_i a[i * lda + j] — column sums of an m x n matrix,
+/// accumulated (bias gradients).
+void col_sums_accumulate(std::size_t m, std::size_t n, const float* a,
+                         std::size_t lda, float* out) noexcept;
+
+}  // namespace rlattack::nn::kernels

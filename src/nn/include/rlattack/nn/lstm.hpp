@@ -30,6 +30,9 @@ class Lstm final : public Layer {
   bool return_sequences_;
 
   // Gate order within the 4H dimension: input, forget, cell(g), output.
+  // The [4H x F] / [4H x H] packing fuses all four gate matmuls into one
+  // kernels::sgemm per timestep (plus one [B*T, F] x [F, 4H] GEMM for the
+  // input contributions of every step at once).
   Tensor w_;   // [4H, F]   input-to-hidden
   Tensor u_;   // [4H, H]   hidden-to-hidden
   Tensor b_;   // [4H]      bias (forget-gate slice initialised to 1)
@@ -41,6 +44,9 @@ class Lstm final : public Layer {
   std::vector<Tensor> cells_;      // each [B, H], c_t
   std::vector<Tensor> tanh_cells_; // each [B, H], tanh(c_t)
   std::vector<Tensor> hiddens_;    // each [B, H], h_t
+  // GEMM scratch reused across calls (reallocated only on shape change).
+  Tensor xw_buf_;    // [B*T, 4H]  x W^T for every timestep
+  Tensor dpre_buf_;  // [B*T, 4H]  pre-activation grads for every timestep
 };
 
 }  // namespace rlattack::nn

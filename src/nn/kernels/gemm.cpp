@@ -1,0 +1,176 @@
+#include "rlattack/nn/kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "rlattack/util/thread_pool.hpp"
+
+namespace rlattack::nn::kernels {
+
+namespace {
+
+// Cache blocking: the packed B panel (kKC x kNC = 128 KiB) and A panel
+// (kMC x kKC = 64 KiB) both sit in L2; the micro-kernel accumulators
+// (kMR x kNC = 4 KiB) stay in L1/registers. Packing makes the inner loop a
+// unit-stride multiply-add over independent output columns, which the
+// compiler vectorises without needing FP reassociation (-ffast-math).
+constexpr std::size_t kMC = 64;
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kNC = 128;
+constexpr std::size_t kMR = 4;
+
+// Packs the op(A) sub-block rows [i0, i0+mb) x cols [p0, p0+kb) into a dense
+// row-major mb x kb panel.
+void pack_a(Trans ta, const float* a, std::size_t lda, std::size_t i0,
+            std::size_t p0, std::size_t mb, std::size_t kb, float* ap) {
+  if (ta == Trans::kNo) {
+    for (std::size_t i = 0; i < mb; ++i)
+      std::memcpy(ap + i * kb, a + (i0 + i) * lda + p0, kb * sizeof(float));
+  } else {
+    for (std::size_t i = 0; i < mb; ++i)
+      for (std::size_t p = 0; p < kb; ++p)
+        ap[i * kb + p] = a[(p0 + p) * lda + (i0 + i)];
+  }
+}
+
+// Packs the op(B) sub-block rows [p0, p0+kb) x cols [j0, j0+nb) into a dense
+// row-major kb x nb panel.
+void pack_b(Trans tb, const float* b, std::size_t ldb, std::size_t p0,
+            std::size_t j0, std::size_t kb, std::size_t nb, float* bp) {
+  if (tb == Trans::kNo) {
+    for (std::size_t p = 0; p < kb; ++p)
+      std::memcpy(bp + p * nb, b + (p0 + p) * ldb + j0, nb * sizeof(float));
+  } else {
+    for (std::size_t p = 0; p < kb; ++p)
+      for (std::size_t j = 0; j < nb; ++j)
+        bp[p * nb + j] = b[(j0 + j) * ldb + (p0 + p)];
+  }
+}
+
+// mb x nb += (or =) packed mb x kb panel times packed kb x nb panel.
+// `store` overwrites C (first K block without accumulate); otherwise adds.
+void micro_kernel(std::size_t mb, std::size_t nb, std::size_t kb,
+                  const float* ap, const float* bp, float* c, std::size_t ldc,
+                  bool store) {
+  float acc0[kNC], acc1[kNC], acc2[kNC], acc3[kNC];
+  std::size_t i = 0;
+  for (; i + kMR <= mb; i += kMR) {
+    for (std::size_t j = 0; j < nb; ++j) acc0[j] = 0.0f;
+    for (std::size_t j = 0; j < nb; ++j) acc1[j] = 0.0f;
+    for (std::size_t j = 0; j < nb; ++j) acc2[j] = 0.0f;
+    for (std::size_t j = 0; j < nb; ++j) acc3[j] = 0.0f;
+    const float* a0 = ap + (i + 0) * kb;
+    const float* a1 = ap + (i + 1) * kb;
+    const float* a2 = ap + (i + 2) * kb;
+    const float* a3 = ap + (i + 3) * kb;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float* bpr = bp + p * nb;
+      const float s0 = a0[p], s1 = a1[p], s2 = a2[p], s3 = a3[p];
+      for (std::size_t j = 0; j < nb; ++j) {
+        const float bv = bpr[j];
+        acc0[j] += s0 * bv;
+        acc1[j] += s1 * bv;
+        acc2[j] += s2 * bv;
+        acc3[j] += s3 * bv;
+      }
+    }
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    if (store) {
+      for (std::size_t j = 0; j < nb; ++j) c0[j] = acc0[j];
+      for (std::size_t j = 0; j < nb; ++j) c1[j] = acc1[j];
+      for (std::size_t j = 0; j < nb; ++j) c2[j] = acc2[j];
+      for (std::size_t j = 0; j < nb; ++j) c3[j] = acc3[j];
+    } else {
+      for (std::size_t j = 0; j < nb; ++j) c0[j] += acc0[j];
+      for (std::size_t j = 0; j < nb; ++j) c1[j] += acc1[j];
+      for (std::size_t j = 0; j < nb; ++j) c2[j] += acc2[j];
+      for (std::size_t j = 0; j < nb; ++j) c3[j] += acc3[j];
+    }
+  }
+  for (; i < mb; ++i) {  // remainder rows, one at a time
+    for (std::size_t j = 0; j < nb; ++j) acc0[j] = 0.0f;
+    const float* a0 = ap + i * kb;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float* bpr = bp + p * nb;
+      const float s0 = a0[p];
+      for (std::size_t j = 0; j < nb; ++j) acc0[j] += s0 * bpr[j];
+    }
+    float* c0 = c + i * ldc;
+    if (store) {
+      for (std::size_t j = 0; j < nb; ++j) c0[j] = acc0[j];
+    } else {
+      for (std::size_t j = 0; j < nb; ++j) c0[j] += acc0[j];
+    }
+  }
+}
+
+// Full blocked GEMM restricted to output rows [m0, m1). Each pool chunk gets
+// a disjoint row range, so results are independent of the chunking (every
+// row's K-accumulation order is fixed by the kKC blocking alone).
+void sgemm_rows(Trans ta, Trans tb, std::size_t m0, std::size_t m1,
+                std::size_t n, std::size_t k, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                bool accumulate) {
+  // Per-thread packing scratch, reused across calls (no per-call allocation
+  // once warmed up).
+  thread_local std::vector<float> ap(kMC * kKC);
+  thread_local std::vector<float> bp(kKC * kNC);
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nb = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kb = std::min(kKC, k - pc);
+      const bool store = pc == 0 && !accumulate;
+      pack_b(tb, b, ldb, pc, jc, kb, nb, bp.data());
+      for (std::size_t ic = m0; ic < m1; ic += kMC) {
+        const std::size_t mb = std::min(kMC, m1 - ic);
+        pack_a(ta, a, lda, ic, pc, mb, kb, ap.data());
+        micro_kernel(mb, nb, kb, ap.data(), bp.data(), c + ic * ldc + jc, ldc,
+                     store);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+           const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float* c, std::size_t ldc, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (std::size_t i = 0; i < m; ++i)
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+    return;
+  }
+  // Parallelise over output rows; below ~8 row-blocks' worth of work the
+  // dispatch overhead outweighs the win and the loop runs inline anyway.
+  util::ThreadPool::global().parallel_for(
+      m, /*grain=*/kMR * 2, [&](std::size_t r0, std::size_t r1) {
+        sgemm_rows(ta, tb, r0, r1, n, k, a, lda, b, ldb, c, ldc, accumulate);
+      });
+}
+
+void axpy(std::size_t n, float alpha, const float* x, float* y) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void broadcast_bias_rows(std::size_t m, std::size_t n, const float* bias,
+                         float* dst, std::size_t ldd) noexcept {
+  for (std::size_t i = 0; i < m; ++i)
+    std::memcpy(dst + i * ldd, bias, n * sizeof(float));
+}
+
+void col_sums_accumulate(std::size_t m, std::size_t n, const float* a,
+                         std::size_t lda, float* out) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = a + i * lda;
+    for (std::size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace rlattack::nn::kernels

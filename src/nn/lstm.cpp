@@ -1,9 +1,12 @@
 #include "rlattack/nn/lstm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "rlattack/nn/init.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
+#include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::nn {
 
@@ -43,60 +46,64 @@ Tensor Lstm::forward(const Tensor& input) {
   tanh_cells_.assign(steps, Tensor({batch, hidden_}));
   hiddens_.assign(steps, Tensor({batch, hidden_}));
 
-  Tensor h_prev({batch, hidden_});
-  Tensor c_prev({batch, hidden_});
-
   const std::size_t h4 = 4 * hidden_;
+  // Input contributions for every gate and timestep in one fused GEMM:
+  // [B*T, F] x [F, 4H] — the [B, T, F] layout flattens row-exactly.
+  if (xw_buf_.rank() != 2 || xw_buf_.dim(0) != batch * steps ||
+      xw_buf_.dim(1) != h4)
+    xw_buf_ = Tensor({batch * steps, h4});
+  kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kYes, batch * steps, h4,
+                 input_, input.raw(), input_, w_.raw(), input_, xw_buf_.raw(),
+                 h4, /*accumulate=*/false);
+
+  auto& pool = util::ThreadPool::global();
   for (std::size_t t = 0; t < steps; ++t) {
     Tensor& gates = gates_[t];
-    // pre-activations: gates = x_t W^T + h_prev U^T + b
+    // gates = xw_t + b, then gates += h_{t-1} U^T (one fused 4H-wide GEMM).
     for (std::size_t bi = 0; bi < batch; ++bi) {
-      const float* xt = input.raw() + (bi * steps + t) * input_;
-      const float* hp = h_prev.raw() + bi * hidden_;
+      const float* xw = xw_buf_.raw() + (bi * steps + t) * h4;
       float* gr = gates.raw() + bi * h4;
-      for (std::size_t j = 0; j < h4; ++j) {
-        const float* wrow = w_.raw() + j * input_;
-        const float* urow = u_.raw() + j * hidden_;
-        float acc = b_[j];
-        for (std::size_t f = 0; f < input_; ++f) acc += wrow[f] * xt[f];
-        for (std::size_t k = 0; k < hidden_; ++k) acc += urow[k] * hp[k];
-        gr[j] = acc;
-      }
+      for (std::size_t j = 0; j < h4; ++j) gr[j] = xw[j] + b_[j];
     }
-    // Activations and state update.
+    if (t > 0)
+      kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kYes, batch, h4,
+                     hidden_, hiddens_[t - 1].raw(), hidden_, u_.raw(),
+                     hidden_, gates.raw(), h4, /*accumulate=*/true);
+    // Activations and state update, batch rows in parallel.
     Tensor& c = cells_[t];
     Tensor& tc = tanh_cells_[t];
     Tensor& h = hiddens_[t];
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      float* gr = gates.raw() + bi * h4;
-      const float* cp = c_prev.raw() + bi * hidden_;
-      float* cr = c.raw() + bi * hidden_;
-      float* tcr = tc.raw() + bi * hidden_;
-      float* hr = h.raw() + bi * hidden_;
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        const float ig = sigmoid(gr[k]);
-        const float fg = sigmoid(gr[hidden_ + k]);
-        const float gg = std::tanh(gr[2 * hidden_ + k]);
-        const float og = sigmoid(gr[3 * hidden_ + k]);
-        gr[k] = ig;
-        gr[hidden_ + k] = fg;
-        gr[2 * hidden_ + k] = gg;
-        gr[3 * hidden_ + k] = og;
-        cr[k] = fg * cp[k] + ig * gg;
-        tcr[k] = std::tanh(cr[k]);
-        hr[k] = og * tcr[k];
+    const Tensor* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
+    pool.parallel_for(batch, /*grain=*/8, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t bi = b0; bi < b1; ++bi) {
+        float* gr = gates.raw() + bi * h4;
+        const float* cp = c_prev ? c_prev->raw() + bi * hidden_ : nullptr;
+        float* cr = c.raw() + bi * hidden_;
+        float* tcr = tc.raw() + bi * hidden_;
+        float* hr = h.raw() + bi * hidden_;
+        for (std::size_t k = 0; k < hidden_; ++k) {
+          const float ig = sigmoid(gr[k]);
+          const float fg = sigmoid(gr[hidden_ + k]);
+          const float gg = std::tanh(gr[2 * hidden_ + k]);
+          const float og = sigmoid(gr[3 * hidden_ + k]);
+          gr[k] = ig;
+          gr[hidden_ + k] = fg;
+          gr[2 * hidden_ + k] = gg;
+          gr[3 * hidden_ + k] = og;
+          cr[k] = fg * (cp ? cp[k] : 0.0f) + ig * gg;
+          tcr[k] = std::tanh(cr[k]);
+          hr[k] = og * tcr[k];
+        }
       }
-    }
-    h_prev = h;
-    c_prev = c;
+    });
   }
 
   if (return_sequences_) {
     Tensor out({batch, steps, hidden_});
     for (std::size_t t = 0; t < steps; ++t)
       for (std::size_t bi = 0; bi < batch; ++bi)
-        for (std::size_t k = 0; k < hidden_; ++k)
-          out.at3(bi, t, k) = hiddens_[t].at2(bi, k);
+        std::memcpy(&out.at3(bi, t, 0), hiddens_[t].raw() + bi * hidden_,
+                    hidden_ * sizeof(float));
     return out;
   }
   return hiddens_.back();
@@ -122,69 +129,67 @@ Tensor Lstm::backward(const Tensor& grad_output) {
       throw std::logic_error("Lstm::backward: gradient shape mismatch");
   }
 
-  Tensor grad_input({batch, steps, input_});
+  // Pre-activation gradients for all steps, stored in the same [B*T, 4H]
+  // row order as the input so grad_input and dW become two big GEMMs after
+  // the recurrent sweep.
+  if (dpre_buf_.rank() != 2 || dpre_buf_.dim(0) != batch * steps ||
+      dpre_buf_.dim(1) != h4)
+    dpre_buf_ = Tensor({batch * steps, h4});
   Tensor dh_next({batch, hidden_});
   Tensor dc_next({batch, hidden_});
-  Tensor dpre({batch, h4});
+  const std::size_t row_stride = steps * h4;  // between batch rows at fixed t
 
+  auto& pool = util::ThreadPool::global();
   for (std::size_t t = steps; t-- > 0;) {
     const Tensor& gates = gates_[t];
     const Tensor& tc = tanh_cells_[t];
-    // c_{t-1} and h_{t-1}: zero tensors at t == 0.
+    // c_{t-1}: zero tensor at t == 0.
     const Tensor* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
-    const Tensor* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
+    float* dpre_t = dpre_buf_.raw() + t * h4;  // row bi at bi * row_stride
 
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      const float* gr = gates.raw() + bi * h4;
-      const float* tcr = tc.raw() + bi * hidden_;
-      float* dpr = dpre.raw() + bi * h4;
-      float* dhn = dh_next.raw() + bi * hidden_;
-      float* dcn = dc_next.raw() + bi * hidden_;
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        const float ig = gr[k], fg = gr[hidden_ + k], gg = gr[2 * hidden_ + k],
-                    og = gr[3 * hidden_ + k];
-        const float dh = grad_at(t, bi, k) + dhn[k];
-        const float dc = dcn[k] + dh * og * (1.0f - tcr[k] * tcr[k]);
-        const float cp = c_prev ? c_prev->at2(bi, k) : 0.0f;
-        dpr[k] = dc * gg * ig * (1.0f - ig);                    // d pre_i
-        dpr[hidden_ + k] = dc * cp * fg * (1.0f - fg);          // d pre_f
-        dpr[2 * hidden_ + k] = dc * ig * (1.0f - gg * gg);      // d pre_g
-        dpr[3 * hidden_ + k] = dh * tcr[k] * og * (1.0f - og);  // d pre_o
-        dcn[k] = dc * fg;  // flows to c_{t-1}
-        dhn[k] = 0.0f;     // recomputed below from dpre * U
-      }
-    }
-
-    // Parameter gradients and input/hidden gradients.
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      const float* dpr = dpre.raw() + bi * h4;
-      const float* xt = cached_input_.raw() + (bi * steps + t) * input_;
-      float* gi = grad_input.raw() + (bi * steps + t) * input_;
-      float* dhn = dh_next.raw() + bi * hidden_;
-      for (std::size_t j = 0; j < h4; ++j) {
-        const float d = dpr[j];
-        if (d == 0.0f) continue;
-        gb_[j] += d;
-        float* gwrow = gw_.raw() + j * input_;
-        const float* wrow = w_.raw() + j * input_;
-        for (std::size_t f = 0; f < input_; ++f) {
-          gwrow[f] += d * xt[f];
-          gi[f] += d * wrow[f];
-        }
-        float* gurow = gu_.raw() + j * hidden_;
-        const float* urow = u_.raw() + j * hidden_;
-        if (h_prev) {
-          const float* hp = h_prev->raw() + bi * hidden_;
-          for (std::size_t k = 0; k < hidden_; ++k) {
-            gurow[k] += d * hp[k];
-            dhn[k] += d * urow[k];
-          }
-        } else {
-          for (std::size_t k = 0; k < hidden_; ++k) dhn[k] += d * urow[k];
+    pool.parallel_for(batch, /*grain=*/8, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t bi = b0; bi < b1; ++bi) {
+        const float* gr = gates.raw() + bi * h4;
+        const float* tcr = tc.raw() + bi * hidden_;
+        float* dpr = dpre_t + bi * row_stride;
+        float* dhn = dh_next.raw() + bi * hidden_;
+        float* dcn = dc_next.raw() + bi * hidden_;
+        for (std::size_t k = 0; k < hidden_; ++k) {
+          const float ig = gr[k], fg = gr[hidden_ + k],
+                      gg = gr[2 * hidden_ + k], og = gr[3 * hidden_ + k];
+          const float dh = grad_at(t, bi, k) + dhn[k];
+          const float dc = dcn[k] + dh * og * (1.0f - tcr[k] * tcr[k]);
+          const float cp = c_prev ? c_prev->at2(bi, k) : 0.0f;
+          dpr[k] = dc * gg * ig * (1.0f - ig);                    // d pre_i
+          dpr[hidden_ + k] = dc * cp * fg * (1.0f - fg);          // d pre_f
+          dpr[2 * hidden_ + k] = dc * ig * (1.0f - gg * gg);      // d pre_g
+          dpr[3 * hidden_ + k] = dh * tcr[k] * og * (1.0f - og);  // d pre_o
+          dcn[k] = dc * fg;  // flows to c_{t-1}
         }
       }
-    }
+    });
+
+    // dh_{t-1} = dpre_t U  (overwrites dh_next for the next iteration).
+    kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kNo, batch, hidden_,
+                   h4, dpre_t, row_stride, u_.raw(), hidden_, dh_next.raw(),
+                   hidden_, /*accumulate=*/false);
+    // dU += dpre_t^T h_{t-1}.
+    if (t > 0)
+      kernels::sgemm(kernels::Trans::kYes, kernels::Trans::kNo, h4, hidden_,
+                     batch, dpre_t, row_stride, hiddens_[t - 1].raw(),
+                     hidden_, gu_.raw(), hidden_, /*accumulate=*/true);
   }
+
+  // grad_input = dpre W and dW += dpre^T x, fused over all timesteps.
+  Tensor grad_input({batch, steps, input_});
+  kernels::sgemm(kernels::Trans::kNo, kernels::Trans::kNo, batch * steps,
+                 input_, h4, dpre_buf_.raw(), h4, w_.raw(), input_,
+                 grad_input.raw(), input_, /*accumulate=*/false);
+  kernels::sgemm(kernels::Trans::kYes, kernels::Trans::kNo, h4, input_,
+                 batch * steps, dpre_buf_.raw(), h4, cached_input_.raw(),
+                 input_, gw_.raw(), input_, /*accumulate=*/true);
+  kernels::col_sums_accumulate(batch * steps, h4, dpre_buf_.raw(), h4,
+                               gb_.raw());
   return grad_input;
 }
 

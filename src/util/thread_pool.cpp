@@ -1,0 +1,199 @@
+#include "rlattack/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlattack::util {
+
+namespace {
+
+// True on pool worker threads; nested parallel loops run inline instead of
+// re-entering the dispatch machinery (which would deadlock on the join).
+thread_local bool tls_inside_worker = false;
+
+std::size_t resolve_thread_count() {
+  if (const char* env = std::getenv("RLATTACK_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+// One synchronous parallel loop. Owns its chunk counters so a worker that
+// wakes late and still holds a pointer to a finished job can only observe an
+// exhausted counter — it can never consume chunks of a newer job.
+struct Job {
+  std::function<void(std::size_t)> fn;
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  // Pulls chunks until exhausted; runs on workers and the submitter alike.
+  void drain() {
+    for (;;) {
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= nchunks) return;
+      try {
+        fn(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  explicit Impl(std::size_t extra_workers) {
+    workers.reserve(extra_workers);
+    for (std::size_t i = 0; i < extra_workers; ++i)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void worker_loop() {
+    tls_inside_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        job = current;
+      }
+      if (job) job->drain();
+    }
+  }
+
+  // Runs one job to completion, helping from the calling thread.
+  void run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      current = job;
+      ++generation;
+    }
+    wake.notify_all();
+    // The submitting thread helps; flag it as "inside" so a nested
+    // parallel_for from chunk code (e.g. sgemm under a batch-parallel conv)
+    // runs inline instead of re-entering dispatch and deadlocking.
+    const bool prev_inside = tls_inside_worker;
+    tls_inside_worker = true;
+    job->drain();
+    tls_inside_worker = prev_inside;
+    // The counter is exhausted, but other workers may still be inside fn.
+    while (job->done.load(std::memory_order_acquire) < job->nchunks)
+      std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      current.reset();
+    }
+  }
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stopping = false;
+  std::shared_ptr<Job> current;    // guarded by mutex
+  std::uint64_t generation = 0;    // guarded by mutex; bumped per job
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1) impl_ = std::make_unique<Impl>(threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() = default;
+
+namespace {
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool)
+    g_global_pool = std::make_unique<ThreadPool>(resolve_thread_count());
+  return *g_global_pool;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(
+      threads == 0 ? resolve_thread_count() : threads);
+}
+
+void ThreadPool::run_chunked(std::size_t nchunks,
+                             const std::function<void(std::size_t)>& chunk_fn) {
+  if (nchunks == 0) return;
+  // Serial pool, single chunk, or a nested call from inside a worker: run
+  // inline. This is the deterministic RLATTACK_THREADS=1 path.
+  if (!impl_ || nchunks == 1 || tls_inside_worker) {
+    for (std::size_t c = 0; c < nchunks; ++c) chunk_fn(c);
+    return;
+  }
+  // parallel_for is synchronous; serialize submitters defensively so two
+  // threads cannot interleave job dispatch on one pool.
+  static std::mutex submit_mutex;
+  std::lock_guard<std::mutex> submit_lock(submit_mutex);
+  auto job = std::make_shared<Job>();
+  job->fn = chunk_fn;
+  job->nchunks = nchunks;
+  impl_->run(job);
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // Even static split over the workers, but never below `grain` per chunk.
+  std::size_t chunks = std::min(threads_, (n + grain - 1) / grain);
+  if (chunks == 0) chunks = 1;
+  const std::size_t base = n / chunks, rem = n % chunks;
+  run_chunked(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, rem);
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+std::size_t ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  run_chunked(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    fn(c, begin, end);
+  });
+  return chunks;
+}
+
+}  // namespace rlattack::util

@@ -1,0 +1,375 @@
+// Parity and determinism tests for the shared GEMM kernel layer and the
+// thread pool. Registered with CTest twice — once with RLATTACK_THREADS=1
+// (serial) and once with RLATTACK_THREADS=4 — so the pool dispatch path is
+// exercised under the tier-1 test command.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "gradcheck.hpp"
+#include "rlattack/nn/conv2d.hpp"
+#include "rlattack/nn/dense.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
+#include "rlattack/nn/lstm.hpp"
+#include "rlattack/nn/reference.hpp"
+#include "rlattack/util/thread_pool.hpp"
+
+namespace rlattack::nn {
+namespace {
+
+using kernels::Trans;
+using rlattack::testing::check_input_gradient;
+using rlattack::testing::check_param_gradients;
+using rlattack::testing::random_tensor;
+
+constexpr double kParityTol = 1e-4;
+
+void expect_close(const Tensor& got, const Tensor& want, double tol,
+                  const char* what) {
+  ASSERT_TRUE(got.same_shape(want)) << what << ": shape " << got.shape_string()
+                                    << " vs " << want.shape_string();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double a = got[i], b = want[i];
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    ASSERT_NEAR(a, b, tol * scale) << what << " mismatch at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sgemm vs a naive triple loop, all four transpose variants.
+
+float naive_at(Trans t, const float* m, std::size_t ld, std::size_t r,
+               std::size_t c) {
+  return t == Trans::kNo ? m[r * ld + c] : m[c * ld + r];
+}
+
+void naive_gemm(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                std::size_t k, const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * ldc + j] : 0.0f;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += naive_at(ta, a, lda, i, p) * naive_at(tb, b, ldb, p, j);
+      c[i * ldc + j] = acc;
+    }
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+class SgemmParity : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(SgemmParity, AllTransposeVariantsAndAccumulate) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(99);
+  for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (const Trans tb : {Trans::kNo, Trans::kYes}) {
+      for (const bool accumulate : {false, true}) {
+        const std::size_t lda = ta == Trans::kNo ? k : m;
+        const std::size_t ldb = tb == Trans::kNo ? n : k;
+        Tensor a = random_tensor({ta == Trans::kNo ? m : k, lda}, rng);
+        Tensor b = random_tensor({tb == Trans::kNo ? k : n, ldb}, rng);
+        Tensor c = random_tensor({m, n}, rng);
+        Tensor c_ref = c;
+        kernels::sgemm(ta, tb, m, n, k, a.raw(), lda, b.raw(), ldb, c.raw(),
+                       n, accumulate);
+        naive_gemm(ta, tb, m, n, k, a.raw(), lda, b.raw(), ldb, c_ref.raw(),
+                   n, accumulate);
+        expect_close(c, c_ref, kParityTol, "sgemm");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmParity,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{4, 4, 4}, GemmCase{5, 7, 3},
+                      GemmCase{17, 33, 9}, GemmCase{64, 64, 64},
+                      GemmCase{3, 200, 1}, GemmCase{128, 1, 70},
+                      GemmCase{65, 130, 257}));
+
+TEST(SgemmParity, NonTightLeadingDimensions) {
+  util::Rng rng(7);
+  const std::size_t m = 6, n = 9, k = 11;
+  const std::size_t lda = k + 3, ldb = n + 5, ldc = n + 2;
+  Tensor a = random_tensor({m, lda}, rng);
+  Tensor b = random_tensor({k, ldb}, rng);
+  Tensor c = random_tensor({m, ldc}, rng);
+  Tensor c_ref = c;
+  kernels::sgemm(Trans::kNo, Trans::kNo, m, n, k, a.raw(), lda, b.raw(), ldb,
+                 c.raw(), ldc, false);
+  naive_gemm(Trans::kNo, Trans::kNo, m, n, k, a.raw(), lda, b.raw(), ldb,
+             c_ref.raw(), ldc, false);
+  // Columns beyond n (the ldc slack) must be untouched.
+  expect_close(c, c_ref, kParityTol, "sgemm-ld");
+}
+
+TEST(SgemmParity, ZeroKZeroesOrKeepsC) {
+  util::Rng rng(8);
+  Tensor a({2, 2}), b({2, 2});
+  Tensor c = random_tensor({2, 2}, rng);
+  Tensor kept = c;
+  kernels::sgemm(Trans::kNo, Trans::kNo, 2, 2, 0, a.raw(), 2, b.raw(), 2,
+                 c.raw(), 2, true);
+  expect_close(c, kept, 0.0, "k=0 accumulate");
+  kernels::sgemm(Trans::kNo, Trans::kNo, 2, 2, 0, a.raw(), 2, b.raw(), 2,
+                 c.raw(), 2, false);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 0.0f);
+}
+
+TEST(KernelHelpers, AxpyBiasRowsColSums) {
+  Tensor x({4}, {1, 2, 3, 4});
+  Tensor y({4}, {10, 20, 30, 40});
+  kernels::axpy(4, 0.5f, x.raw(), y.raw());
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+  EXPECT_FLOAT_EQ(y[3], 42.0f);
+
+  Tensor bias({3}, {1, 2, 3});
+  Tensor rows({2, 3});
+  kernels::broadcast_bias_rows(2, 3, bias.raw(), rows.raw(), 3);
+  EXPECT_FLOAT_EQ(rows.at2(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(rows.at2(1, 0), 1.0f);
+
+  Tensor sums({3}, {100, 100, 100});
+  kernels::col_sums_accumulate(2, 3, rows.raw(), 3, sums.raw());
+  EXPECT_FLOAT_EQ(sums[0], 102.0f);
+  EXPECT_FLOAT_EQ(sums[2], 106.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool semantics.
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  const std::size_t n = 1337;
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(n, 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, ChunkLayoutIndependentOfThreadCount) {
+  // parallel_for_chunks must produce the same (chunk -> range) mapping for
+  // any worker count: that is what makes chunk-ordered reductions bit-stable.
+  auto collect = [](util::ThreadPool& pool) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(
+        util::ThreadPool::chunk_count(23, 5));
+    std::mutex mu;
+    pool.parallel_for_chunks(23, 5, [&](std::size_t c, std::size_t b,
+                                        std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      ranges[c] = {b, e};
+    });
+    return ranges;
+  };
+  util::ThreadPool serial(1), parallel(4);
+  EXPECT_EQ(collect(serial), collect(parallel));
+  EXPECT_EQ(util::ThreadPool::chunk_count(23, 5), 5u);
+  EXPECT_EQ(util::ThreadPool::chunk_count(0, 5), 0u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [](std::size_t b, std::size_t) {
+                          if (b >= 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 1, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      pool.parallel_for(25, 1, [&](std::size_t ib, std::size_t ie) {
+        total += static_cast<int>(ie - ib);
+      });
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  util::ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(3, 100, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 3u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Layer parity against the retained naive reference implementations.
+
+TEST(DenseParity, ForwardBackwardMatchReference) {
+  util::Rng rng(11);
+  Dense d(37, 29, rng);
+  auto params = d.params();
+  Tensor x = random_tensor({5, 37}, rng);
+  Tensor y = d.forward(x);
+  Tensor y_ref = ref::dense_forward(x, *params[0].value, *params[1].value);
+  expect_close(y, y_ref, kParityTol, "dense forward");
+
+  Tensor g = random_tensor({5, 29}, rng);
+  d.zero_grad();
+  Tensor gx = d.backward(g);
+  Tensor gw({29, 37}), gb({29});
+  Tensor gx_ref = ref::dense_backward(x, *params[0].value, g, gw, gb);
+  expect_close(gx, gx_ref, kParityTol, "dense dx");
+  expect_close(*params[0].grad, gw, kParityTol, "dense dW");
+  expect_close(*params[1].grad, gb, kParityTol, "dense db");
+}
+
+struct ConvParityCase {
+  std::size_t batch, in_c, out_c, hw, k, stride, pad;
+};
+
+class Conv2DParity : public ::testing::TestWithParam<ConvParityCase> {};
+
+TEST_P(Conv2DParity, ForwardBackwardMatchReference) {
+  const auto p = GetParam();
+  util::Rng rng(21);
+  Conv2D conv(p.in_c, p.out_c, p.k, p.stride, p.pad, rng);
+  auto params = conv.params();
+  Tensor x = random_tensor({p.batch, p.in_c, p.hw, p.hw}, rng);
+  Tensor y = conv.forward(x);
+  Tensor y_ref =
+      ref::conv2d_forward(x, *params[0].value, *params[1].value, p.stride,
+                          p.pad);
+  expect_close(y, y_ref, kParityTol, "conv forward");
+
+  Tensor g = random_tensor(y.shape(), rng);
+  conv.zero_grad();
+  Tensor gx = conv.backward(g);
+  Tensor gw(params[0].value->shape()), gb({p.out_c});
+  Tensor gx_ref =
+      ref::conv2d_backward(x, *params[0].value, g, p.stride, p.pad, gw, gb);
+  expect_close(gx, gx_ref, kParityTol, "conv dx");
+  expect_close(*params[0].grad, gw, kParityTol, "conv dW");
+  expect_close(*params[1].grad, gb, kParityTol, "conv db");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2DParity,
+    // The 9-item batch spans three backward reduction chunks (grain 4), the
+    // stride/pad variants cover every im2col edge case.
+    ::testing::Values(ConvParityCase{1, 1, 2, 5, 3, 1, 0},
+                      ConvParityCase{3, 2, 4, 9, 3, 2, 1},
+                      ConvParityCase{9, 2, 3, 8, 3, 1, 1},
+                      ConvParityCase{2, 3, 1, 6, 2, 2, 0},
+                      ConvParityCase{1, 1, 1, 4, 3, 1, 2}));
+
+class LstmParity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LstmParity, ForwardBackwardMatchReference) {
+  const bool return_sequences = GetParam();
+  util::Rng rng(31);
+  Lstm lstm(6, 5, return_sequences, rng);
+  auto params = lstm.params();
+  ref::LstmRef ref_lstm(*params[0].value, *params[1].value, *params[2].value,
+                        return_sequences);
+  Tensor x = random_tensor({3, 4, 6}, rng);
+  Tensor y = lstm.forward(x);
+  Tensor y_ref = ref_lstm.forward(x);
+  expect_close(y, y_ref, kParityTol, "lstm forward");
+
+  Tensor g = random_tensor(y.shape(), rng);
+  lstm.zero_grad();
+  Tensor gx = lstm.backward(g);
+  Tensor gw(params[0].value->shape()), gu(params[1].value->shape()),
+      gb(params[2].value->shape());
+  Tensor gx_ref = ref_lstm.backward(g, gw, gu, gb);
+  expect_close(gx, gx_ref, kParityTol, "lstm dx");
+  expect_close(*params[0].grad, gw, kParityTol, "lstm dW");
+  expect_close(*params[1].grad, gu, kParityTol, "lstm dU");
+  expect_close(*params[2].grad, gb, kParityTol, "lstm db");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LstmParity, ::testing::Bool());
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks on the GEMM paths (run at both
+// RLATTACK_THREADS registrations).
+
+TEST(GemmGradCheck, Dense) {
+  util::Rng rng(41);
+  Dense d(8, 6, rng);
+  Tensor x = random_tensor({4, 8}, rng);
+  check_input_gradient(d, x, rng);
+  check_param_gradients(d, x, rng);
+}
+
+TEST(GemmGradCheck, Conv2D) {
+  util::Rng rng(42);
+  Conv2D c(2, 3, 3, 2, 1, rng);
+  Tensor x = random_tensor({2, 2, 6, 6}, rng);
+  check_input_gradient(c, x, rng);
+  check_param_gradients(c, x, rng);
+}
+
+TEST(GemmGradCheck, Lstm) {
+  util::Rng rng(43);
+  Lstm lstm(5, 4, false, rng);
+  Tensor x = random_tensor({2, 3, 5}, rng);
+  check_input_gradient(lstm, x, rng);
+  check_param_gradients(lstm, x, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level determinism across thread counts: the kernels partition output
+// rows, so serial and 4-thread pools must produce identical bits.
+
+TEST(Determinism, ForwardBitStableAcrossThreadCounts) {
+  util::Rng rng(51);
+  Dense dense(40, 33, rng);
+  Conv2D conv(2, 4, 3, 1, 1, rng);
+  Lstm lstm(12, 9, false, rng);
+  Tensor xd = random_tensor({16, 40}, rng);
+  Tensor xc = random_tensor({8, 2, 10, 10}, rng);
+  Tensor xl = random_tensor({6, 5, 12}, rng);
+
+  Tensor gd = random_tensor({16, 33}, rng);
+
+  util::ThreadPool::reset_global(4);
+  Tensor yd4 = dense.forward(xd);
+  Tensor yc4 = conv.forward(xc);
+  Tensor yl4 = lstm.forward(xl);
+  dense.zero_grad();
+  Tensor gx4 = dense.backward(gd);
+
+  util::ThreadPool::reset_global(1);
+  Tensor yd1 = dense.forward(xd);
+  Tensor yc1 = conv.forward(xc);
+  Tensor yl1 = lstm.forward(xl);
+  dense.zero_grad();
+  Tensor gx1 = dense.backward(gd);
+  util::ThreadPool::reset_global(0);  // restore the env-resolved pool
+
+  for (std::size_t i = 0; i < yd4.size(); ++i) EXPECT_EQ(yd4[i], yd1[i]);
+  for (std::size_t i = 0; i < yc4.size(); ++i) EXPECT_EQ(yc4[i], yc1[i]);
+  for (std::size_t i = 0; i < yl4.size(); ++i) EXPECT_EQ(yl4[i], yl1[i]);
+  for (std::size_t i = 0; i < gx4.size(); ++i) EXPECT_EQ(gx4[i], gx1[i]);
+}
+
+}  // namespace
+}  // namespace rlattack::nn
