@@ -24,13 +24,26 @@ inline core::Zoo make_zoo() {
   return core::Zoo(config);
 }
 
-/// Number of per-point episode runs, scaled down with the bench scale but
-/// never below 4 (the paper uses 20 at full scale).
+/// Number of per-point episode runs, scaled with the bench scale but never
+/// below 4. The paper uses 20 at full scale; RLATTACK_BENCH_SCALE > 1
+/// buys proportionally more runs (tighter error bars on bigger machines),
+/// < 1 trades precision for wall-clock.
 inline std::size_t scaled_runs(std::size_t paper_runs = 20) {
   const double scale = core::bench_scale_from_env();
   const auto runs =
       static_cast<std::size_t>(static_cast<double>(paper_runs) * scale);
-  return std::max<std::size_t>(4, std::min(paper_runs, runs));
+  return std::max<std::size_t>(4, runs);
+}
+
+/// Prints one machine-parseable wall-clock line per experiment; run_benches.sh
+/// collects these into bench_times.csv / BENCH_experiments.json.
+inline void emit_timing(const std::string& experiment,
+                        const core::ExperimentTiming& t) {
+  std::printf("[timing] experiment=%s threads=%zu episodes=%zu wall_s=%.3f\n",
+              experiment.c_str(), t.threads, t.episodes, t.wall_seconds);
+  // Timing lines must survive a later abort in the same binary (stdout is
+  // block-buffered when redirected to run_benches.sh's log).
+  std::fflush(stdout);
 }
 
 /// Prints the table and writes it as CSV alongside the working directory.

@@ -18,7 +18,10 @@ int main() {
     cfg.l2_budgets = {0.0, 0.25, 0.5, 1.0, 2.0};
     cfg.runs = bench::scaled_runs(12);
     cfg.seed = 1000 + static_cast<std::uint64_t>(algo);
-    auto points = core::run_reward_experiment(zoo, cfg);
+    core::ExperimentTiming timing;
+    auto points = core::run_reward_experiment(zoo, cfg, &timing);
+    bench::emit_timing("fig4_cartpole_reward." + rl::algorithm_name(algo),
+                       timing);
     for (const auto& p : points)
       table.add_row({rl::algorithm_name(algo), attack::attack_name(p.attack),
                      util::fmt(p.l2_budget, 2),

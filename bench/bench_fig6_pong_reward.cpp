@@ -16,7 +16,11 @@ int main() {
     cfg.runs = bench::scaled_runs(12);
     cfg.sequence_variant = seq;
     cfg.seed = seq ? 1700 : 1600;
-    auto points = core::run_reward_experiment(zoo, cfg);
+    core::ExperimentTiming timing;
+    auto points = core::run_reward_experiment(zoo, cfg, &timing);
+    bench::emit_timing(std::string("fig6_pong_reward.") +
+                           (seq ? "sequence" : "prediction"),
+                       timing);
     for (const auto& p : points)
       table.add_row({seq ? "Action Sequence" : "Action Prediction",
                      attack::attack_name(p.attack), util::fmt(p.l2_budget, 2),

@@ -19,7 +19,10 @@ int main() {
     cfg.l2_budgets = {0.25, 0.5, 1.0, 2.0};
     cfg.runs = bench::scaled_runs(10);
     cfg.seed = 2000 + static_cast<std::uint64_t>(algo);
-    auto points = core::run_transferability_experiment(zoo, cfg);
+    core::ExperimentTiming timing;
+    auto points = core::run_transferability_experiment(zoo, cfg, &timing);
+    bench::emit_timing("fig7_transferability." + rl::algorithm_name(algo),
+                       timing);
     for (const auto& p : points)
       table.add_row({rl::algorithm_name(algo), attack::attack_name(p.attack),
                      util::fmt(p.l2_budget, 2), util::fmt(p.transfer_rate, 3),

@@ -24,7 +24,12 @@ int main() {
       cfg.runs = bench::scaled_runs();
       cfg.seed = 3000 + static_cast<std::uint64_t>(victim) * 100 +
                  static_cast<std::uint64_t>(eps * 10);
-      auto points = core::run_timebomb_experiment(zoo, cfg);
+      core::ExperimentTiming timing;
+      auto points = core::run_timebomb_experiment(zoo, cfg, &timing);
+      bench::emit_timing("fig8_timebomb_invaders." +
+                             rl::algorithm_name(victim) + ".eps" +
+                             util::fmt(eps, 1),
+                         timing);
       for (const auto& p : points)
         table.add_row({rl::algorithm_name(victim), util::fmt(eps, 1),
                        std::to_string(p.delay), util::fmt(p.success_rate, 3),

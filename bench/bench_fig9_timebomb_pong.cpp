@@ -21,7 +21,11 @@ int main() {
       cfg.runs = bench::scaled_runs();
       cfg.seed = 4000 + static_cast<std::uint64_t>(victim) * 100 +
                  static_cast<std::uint64_t>(eps * 10);
-      auto points = core::run_timebomb_experiment(zoo, cfg);
+      core::ExperimentTiming timing;
+      auto points = core::run_timebomb_experiment(zoo, cfg, &timing);
+      bench::emit_timing("fig9_timebomb_pong." + rl::algorithm_name(victim) +
+                             ".eps" + util::fmt(eps, 1),
+                         timing);
       for (const auto& p : points)
         table.add_row({rl::algorithm_name(victim), util::fmt(eps, 1),
                        std::to_string(p.delay), util::fmt(p.success_rate, 3),

@@ -1,12 +1,53 @@
 #!/bin/sh
 # Runs every experiment harness sequentially, teeing the combined output.
+#
+# Timing outputs:
+#   bench_times.csv         one row per bench binary: parallel (default
+#                           episode-worker) wall-clock, plus a serial
+#                           (RLATTACK_EXPERIMENT_THREADS=1) column when
+#                           RLATTACK_BENCH_COMPARE=1 re-runs each binary.
+#   BENCH_experiments.json  the per-experiment "[timing]" lines the driver
+#                           binaries emit, as a JSON baseline.
 cd /root/repo
 export RLATTACK_BENCH_SCALE=${RLATTACK_BENCH_SCALE:-0.5}
 : > bench_output.txt
+echo "bench,wall_seconds,serial_wall_seconds" > bench_times.csv
+
+run_one() {
+  echo "=== RUNNING $1 ===" >> bench_output.txt
+  _start=$(date +%s.%N)
+  "$1" >> bench_output.txt 2>&1
+  _status=$?
+  _end=$(date +%s.%N)
+  echo "=== EXIT $_status $1 ===" >> bench_output.txt
+  awk -v a="$_start" -v b="$_end" 'BEGIN { printf "%.2f", b - a }'
+}
+
 for b in build/bench/*; do
   { [ -f "$b" ] && [ -x "$b" ]; } || continue
-  echo "=== RUNNING $b ===" >> bench_output.txt
-  "$b" >> bench_output.txt 2>&1
-  echo "=== EXIT $? $b ===" >> bench_output.txt
+  wall=$(run_one "$b")
+  serial=""
+  if [ "${RLATTACK_BENCH_COMPARE:-0}" = "1" ]; then
+    serial=$(RLATTACK_EXPERIMENT_THREADS=1 run_one "$b")
+  fi
+  echo "$(basename "$b"),$wall,$serial" >> bench_times.csv
 done
+
+# Collect the drivers' per-experiment timing lines into a JSON baseline.
+awk 'BEGIN { print "["; first = 1 }
+  /^\[timing\]/ {
+    e = t = n = w = ""
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=")
+      if (kv[1] == "experiment") e = kv[2]
+      if (kv[1] == "threads") t = kv[2]
+      if (kv[1] == "episodes") n = kv[2]
+      if (kv[1] == "wall_s") w = kv[2]
+    }
+    if (e == "" || t == "" || n == "" || w == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"experiment\": \"%s\", \"threads\": %s, \"episodes\": %s, \"wall_seconds\": %s}", e, t, n, w
+  }
+  END { print "\n]" }' bench_output.txt > BENCH_experiments.json
 echo ALL_BENCHES_DONE >> bench_output.txt

@@ -1,139 +1,233 @@
 #include "rlattack/core/experiments.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "rlattack/util/log.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::core {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void finish_timing(ExperimentTiming* timing, Clock::time_point start,
+                   std::size_t threads, std::size_t episodes,
+                   const char* name) {
+  const double wall = seconds_since(start);
+  if (timing) {
+    timing->wall_seconds = wall;
+    timing->threads = threads;
+    timing->episodes = episodes;
+  }
+  util::log_info(name, ": ", episodes, " episodes in ", wall, " s (",
+                 threads, " episode workers)");
+}
+
+}  // namespace
+
 std::vector<RewardPoint> run_reward_experiment(
-    Zoo& zoo, const RewardExperimentConfig& config) {
+    Zoo& zoo, const RewardExperimentConfig& config,
+    ExperimentTiming* timing) {
+  const auto start = Clock::now();
   rl::Agent& victim = zoo.victim(config.game, config.algorithm);
   const std::size_t m = config.sequence_variant ? 10 : 1;
   // The approximator is always trained from DQN traces (the paper trains
   // the seq2seq against DQN and transfers to the other algorithms).
   ApproximatorInfo approx =
       zoo.approximator(config.game, rl::Algorithm::kDqn, m);
+  const std::size_t threads =
+      resolve_experiment_threads(zoo.config().experiment_threads);
 
-  std::vector<RewardPoint> points;
+  // Flatten the (attack x budget) grid into seed-deterministic episode
+  // jobs, one per run.
+  struct Cell {
+    attack::Kind kind;
+    double budget;
+  };
+  std::vector<Cell> cells;
+  std::vector<EpisodeJob> jobs;
   for (attack::Kind kind : config.attacks) {
-    attack::AttackPtr attacker = attack::make_attack(kind);
     for (double budget : config.l2_budgets) {
-      attack::Budget b{attack::Budget::Norm::kL2,
-                       static_cast<float>(budget)};
-      AttackSession session(victim, config.game, *approx.model, *attacker, b);
-      AttackPolicy policy;
-      policy.mode = budget > 0.0 ? AttackPolicy::Mode::kEveryStep
-                                 : AttackPolicy::Mode::kNone;
-      policy.goal_mode = attack::Goal::Mode::kUntargeted;
-      policy.random_position = config.sequence_variant;
-
-      util::RunningStats reward_stats, l2_stats;
+      cells.push_back({kind, budget});
+      EpisodeJob job;
+      job.attack = kind;
+      job.budget = attack::Budget{attack::Budget::Norm::kL2,
+                                  static_cast<float>(budget)};
+      job.policy.mode = budget > 0.0 ? AttackPolicy::Mode::kEveryStep
+                                     : AttackPolicy::Mode::kNone;
+      job.policy.goal_mode = attack::Goal::Mode::kUntargeted;
+      job.policy.random_position = config.sequence_variant;
       for (std::size_t run = 0; run < config.runs; ++run) {
-        EpisodeOutcome outcome =
-            session.run_episode(policy, config.seed + run);
-        reward_stats.add(outcome.total_reward);
-        if (outcome.attacks_attempted > 0) l2_stats.add(outcome.mean_l2);
+        job.seed = config.seed + run;
+        jobs.push_back(job);
       }
-      RewardPoint point;
-      point.attack = kind;
-      point.l2_budget = budget;
-      point.mean_reward = reward_stats.mean();
-      point.stddev_reward = reward_stats.stddev();
-      point.mean_realised_l2 = l2_stats.count() > 0 ? l2_stats.mean() : 0.0;
-      point.sequence_variant = config.sequence_variant;
-      points.push_back(point);
-      util::log_info("reward ", env::game_name(config.game), "/",
-                     rl::algorithm_name(config.algorithm), " ",
-                     attack::attack_name(kind), " l2 = ", budget,
-                     " -> reward ", point.mean_reward, " +/- ",
-                     point.stddev_reward);
     }
   }
+  const std::vector<EpisodeOutcome> outcomes =
+      run_episode_jobs(victim, config.game, *approx.model, jobs, threads);
+
+  // Reduce each cell in run order: the same accumulation sequence as the
+  // serial loops, hence bit-identical statistics.
+  std::vector<RewardPoint> points;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    util::RunningStats reward_stats, l2_stats;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      const EpisodeOutcome& outcome = outcomes[c * config.runs + run];
+      reward_stats.add(outcome.total_reward);
+      if (outcome.attacks_attempted > 0) l2_stats.add(outcome.mean_l2);
+    }
+    RewardPoint point;
+    point.attack = cells[c].kind;
+    point.l2_budget = cells[c].budget;
+    point.mean_reward = reward_stats.mean();
+    point.stddev_reward = reward_stats.stddev();
+    point.mean_realised_l2 = l2_stats.count() > 0 ? l2_stats.mean() : 0.0;
+    point.sequence_variant = config.sequence_variant;
+    points.push_back(point);
+    util::log_info("reward ", env::game_name(config.game), "/",
+                   rl::algorithm_name(config.algorithm), " ",
+                   attack::attack_name(cells[c].kind), " l2 = ",
+                   cells[c].budget, " -> reward ", point.mean_reward,
+                   " +/- ", point.stddev_reward);
+  }
+  finish_timing(timing, start, threads, jobs.size(), "reward experiment");
   return points;
 }
 
 std::vector<TransferabilityPoint> run_transferability_experiment(
-    Zoo& zoo, const TransferabilityConfig& config) {
+    Zoo& zoo, const TransferabilityConfig& config,
+    ExperimentTiming* timing) {
+  const auto start = Clock::now();
   rl::Agent& victim = zoo.victim(config.game, config.algorithm);
   ApproximatorInfo approx =
       zoo.approximator(config.game, rl::Algorithm::kDqn, 1);
+  const std::size_t threads =
+      resolve_experiment_threads(zoo.config().experiment_threads);
 
-  std::vector<TransferabilityPoint> points;
+  struct Cell {
+    attack::Kind kind;
+    double budget;
+  };
+  std::vector<Cell> cells;
+  std::vector<EpisodeJob> jobs;
   for (attack::Kind kind : config.attacks) {
-    attack::AttackPtr attacker = attack::make_attack(kind);
     for (double budget : config.l2_budgets) {
-      attack::Budget b{attack::Budget::Norm::kL2,
-                       static_cast<float>(budget)};
-      AttackSession session(victim, config.game, *approx.model, *attacker, b);
-      AttackPolicy policy;
-      policy.mode = AttackPolicy::Mode::kEveryStep;
-      policy.goal_mode = attack::Goal::Mode::kUntargeted;
-
-      std::size_t flips = 0, samples = 0;
+      cells.push_back({kind, budget});
+      EpisodeJob job;
+      job.attack = kind;
+      job.budget = attack::Budget{attack::Budget::Norm::kL2,
+                                  static_cast<float>(budget)};
+      job.policy.mode = AttackPolicy::Mode::kEveryStep;
+      job.policy.goal_mode = attack::Goal::Mode::kUntargeted;
       for (std::size_t run = 0; run < config.runs; ++run) {
-        EpisodeOutcome outcome =
-            session.run_episode(policy, config.seed + run);
-        flips += outcome.immediate_flips;
-        samples += outcome.attacks_attempted;
+        job.seed = config.seed + run;
+        jobs.push_back(job);
       }
-      TransferabilityPoint point;
-      point.attack = kind;
-      point.l2_budget = budget;
-      point.samples = samples;
-      point.transfer_rate =
-          samples == 0 ? 0.0
-                       : static_cast<double>(flips) /
-                             static_cast<double>(samples);
-      points.push_back(point);
-      util::log_info("transfer ", env::game_name(config.game), "/",
-                     rl::algorithm_name(config.algorithm), " ",
-                     attack::attack_name(kind), " l2 = ", budget,
-                     " -> rate ", point.transfer_rate, " (", samples,
-                     " samples)");
     }
   }
+  const std::vector<EpisodeOutcome> outcomes =
+      run_episode_jobs(victim, config.game, *approx.model, jobs, threads);
+
+  std::vector<TransferabilityPoint> points;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::size_t flips = 0, samples = 0;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      const EpisodeOutcome& outcome = outcomes[c * config.runs + run];
+      flips += outcome.immediate_flips;
+      samples += outcome.attacks_attempted;
+    }
+    TransferabilityPoint point;
+    point.attack = cells[c].kind;
+    point.l2_budget = cells[c].budget;
+    point.samples = samples;
+    point.transfer_rate =
+        samples == 0 ? 0.0
+                     : static_cast<double>(flips) /
+                           static_cast<double>(samples);
+    points.push_back(point);
+    util::log_info("transfer ", env::game_name(config.game), "/",
+                   rl::algorithm_name(config.algorithm), " ",
+                   attack::attack_name(cells[c].kind), " l2 = ",
+                   cells[c].budget, " -> rate ", point.transfer_rate, " (",
+                   samples, " samples)");
+  }
+  finish_timing(timing, start, threads, jobs.size(),
+                "transferability experiment");
   return points;
 }
 
 std::vector<TimeBombPoint> run_timebomb_experiment(
-    Zoo& zoo, const TimeBombConfig& config) {
+    Zoo& zoo, const TimeBombConfig& config, ExperimentTiming* timing) {
+  const auto start = Clock::now();
   rl::Agent& victim = zoo.victim(config.game, config.victim_algorithm);
-  // The approximator predicts 10 future actions (Seq models of Table 2);
-  // delays index into that output sequence.
+  // The approximator predicts the future-action sequence the delays index
+  // into: m = max delay + 1, capped at the paper's Seq-model length of 10
+  // (Table 2). The default delays {1..9} reproduce the paper's m = 10.
+  std::size_t max_delay = 0;
+  for (std::size_t delay : config.delays)
+    max_delay = std::max(max_delay, delay);
+  const std::size_t m = std::min<std::size_t>(10, max_delay + 1);
   ApproximatorInfo approx =
-      zoo.approximator(config.game, config.approximator_source, 10);
-  attack::AttackPtr attacker = attack::make_attack(config.attack_kind);
-  attack::Budget budget{attack::Budget::Norm::kLinf, config.epsilon_linf};
-  AttackSession session(victim, config.game, *approx.model, *attacker,
-                        budget);
+      zoo.approximator(config.game, config.approximator_source, m);
+  const attack::Budget budget{attack::Budget::Norm::kLinf,
+                              config.epsilon_linf};
+  const std::size_t threads =
+      resolve_experiment_threads(zoo.config().experiment_threads);
+  const std::size_t output_steps = approx.model->config().output_steps;
 
-  std::vector<TimeBombPoint> points;
+  // Each (delay, run) needs a clean counterfactual and an attacked episode
+  // of the same seed: two jobs, adjacent in the flattened list. Trigger
+  // steps are pre-drawn per delay in run order, preserving the serial
+  // drivers' RNG stream.
+  std::vector<std::size_t> delays;
+  std::vector<EpisodeJob> jobs;
   for (std::size_t delay : config.delays) {
-    if (delay >= session.output_steps()) {
+    if (delay >= output_steps) {
       util::log_warn("timebomb: delay ", delay,
                      " beyond output sequence; skipping");
       continue;
     }
-    std::size_t successes = 0, trials = 0;
+    delays.push_back(delay);
     util::Rng trigger_rng(config.seed ^ (0xD00Du + delay));
     for (std::size_t run = 0; run < config.runs; ++run) {
-      const std::uint64_t episode_seed =
-          config.seed + 100 * delay + run;
-      // Clean counterfactual run.
-      AttackPolicy clean;
-      clean.mode = AttackPolicy::Mode::kNone;
-      EpisodeOutcome baseline = session.run_episode(clean, episode_seed);
+      const std::uint64_t episode_seed = config.seed + 100 * delay + run;
+      EpisodeJob clean;
+      clean.attack = config.attack_kind;
+      clean.budget = budget;
+      clean.policy.mode = AttackPolicy::Mode::kNone;
+      clean.seed = episode_seed;
+      jobs.push_back(clean);
 
-      // Attacked run, single injection at a random eligible trigger.
-      AttackPolicy bomb;
-      bomb.mode = AttackPolicy::Mode::kSingleStep;
-      bomb.trigger_step =
+      EpisodeJob bomb;
+      bomb.attack = config.attack_kind;
+      bomb.budget = budget;
+      bomb.policy.mode = AttackPolicy::Mode::kSingleStep;
+      bomb.policy.trigger_step =
           approx.input_steps + trigger_rng.uniform_int(std::size_t{10});
-      bomb.goal_mode = attack::Goal::Mode::kTargeted;
-      bomb.position = delay;
-      bomb.runner_up_target = true;
-      EpisodeOutcome attacked = session.run_episode(bomb, episode_seed);
+      bomb.policy.goal_mode = attack::Goal::Mode::kTargeted;
+      bomb.policy.position = delay;
+      bomb.policy.runner_up_target = true;
+      bomb.seed = episode_seed;
+      jobs.push_back(bomb);
+    }
+  }
+  const std::vector<EpisodeOutcome> outcomes =
+      run_episode_jobs(victim, config.game, *approx.model, jobs, threads);
 
+  std::vector<TimeBombPoint> points;
+  for (std::size_t d = 0; d < delays.size(); ++d) {
+    const std::size_t delay = delays[d];
+    std::size_t successes = 0, trials = 0;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      const std::size_t base = 2 * (d * config.runs + run);
+      const EpisodeOutcome& baseline = outcomes[base];
+      const EpisodeOutcome& attacked = outcomes[base + 1];
       if (attacked.fired_step == static_cast<std::size_t>(-1))
         continue;  // episode too short for the FIFO to fill
       const std::size_t check = attacked.fired_step + delay;
@@ -159,6 +253,7 @@ std::vector<TimeBombPoint> run_timebomb_experiment(
                    config.epsilon_linf, " delay ", delay, " -> rate ",
                    point.success_rate, " (", trials, " trials)");
   }
+  finish_timing(timing, start, threads, jobs.size(), "timebomb experiment");
   return points;
 }
 

@@ -2,8 +2,16 @@
 // (Figures 4-6), transferability (Figure 7) and the time-bomb attack
 // (Figures 8-9). Each returns plain result rows; the bench binaries format
 // them into the paper-shaped tables.
+//
+// Every driver flattens its grid into independent, seed-deterministic
+// episode jobs and fans them out across the episode-parallel runner
+// (parallel_episodes.hpp); statistics are reduced in run order afterwards,
+// so result rows are bit-identical at any ZooConfig::experiment_threads
+// setting. Passing a non-null `timing` out-parameter records wall-clock and
+// worker count for the bench CSVs.
 #pragma once
 
+#include "rlattack/core/parallel_episodes.hpp"
 #include "rlattack/core/pipeline.hpp"
 #include "rlattack/core/zoo.hpp"
 #include "rlattack/util/table.hpp"
@@ -37,7 +45,8 @@ struct RewardPoint {
 
 /// Runs the sweep; budget 0 rows are the clean baseline (no perturbation).
 std::vector<RewardPoint> run_reward_experiment(
-    Zoo& zoo, const RewardExperimentConfig& config);
+    Zoo& zoo, const RewardExperimentConfig& config,
+    ExperimentTiming* timing = nullptr);
 
 /// --- Transferability (Figure 7) ------------------------------------------
 
@@ -62,7 +71,8 @@ struct TransferabilityPoint {
 };
 
 std::vector<TransferabilityPoint> run_transferability_experiment(
-    Zoo& zoo, const TransferabilityConfig& config);
+    Zoo& zoo, const TransferabilityConfig& config,
+    ExperimentTiming* timing = nullptr);
 
 /// --- Time-bomb attack (Figures 8, 9) -------------------------------------
 
@@ -88,8 +98,9 @@ struct TimeBombPoint {
   std::size_t trials = 0;
 };
 
-std::vector<TimeBombPoint> run_timebomb_experiment(Zoo& zoo,
-                                                   const TimeBombConfig& config);
+std::vector<TimeBombPoint> run_timebomb_experiment(
+    Zoo& zoo, const TimeBombConfig& config,
+    ExperimentTiming* timing = nullptr);
 
 /// --- Threat-model comparison (Table 1) -----------------------------------
 

@@ -18,6 +18,12 @@ struct ZooConfig {
   double scale = 1.0;       ///< multiplies all episode/epoch budgets
   std::uint64_t seed = 42;  ///< base seed; derived per artefact
   bool verbose = true;
+  /// Episode-parallel worker count used by the experiment drivers and the
+  /// Zoo's own evaluation/observation loops. 0 = auto: the
+  /// RLATTACK_EXPERIMENT_THREADS env var if set, else the global
+  /// thread-pool size (RLATTACK_THREADS-aware). 1 = the exact serial code
+  /// path. Results are bit-identical at any setting.
+  std::size_t experiment_threads = 0;
 };
 
 /// Reads RLATTACK_BENCH_SCALE (a positive float) from the environment;
@@ -67,6 +73,12 @@ class Zoo {
   std::size_t observation_episodes(env::Game game) const;
 
   const ZooConfig& config() const noexcept { return config_; }
+
+  /// Overrides ZooConfig::experiment_threads after construction, so tests
+  /// and benches can compare worker counts against one set of artefacts.
+  void set_experiment_threads(std::size_t threads) noexcept {
+    config_.experiment_threads = threads;
+  }
 
  private:
   std::string victim_key(env::Game game, rl::Algorithm algorithm) const;

@@ -1,0 +1,79 @@
+#include "rlattack/core/parallel_episodes.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "rlattack/util/thread_pool.hpp"
+
+namespace rlattack::core {
+
+std::size_t resolve_experiment_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RLATTACK_EXPERIMENT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  return util::ThreadPool::global().size();
+}
+
+namespace {
+
+EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
+                           seq2seq::Seq2SeqModel& model,
+                           const EpisodeJob& job) {
+  // Attacks hold only immutable configuration (steps, coefficients), so a
+  // fresh default-configured instance per job matches the shared instance
+  // the serial drivers historically used.
+  attack::AttackPtr attacker = attack::make_attack(job.attack);
+  AttackSession session(victim, game, model, *attacker, job.budget);
+  return session.run_episode(job.policy, job.seed);
+}
+
+}  // namespace
+
+std::vector<EpisodeOutcome> run_episode_jobs(
+    rl::Agent& victim, env::Game game, seq2seq::Seq2SeqModel& model,
+    const std::vector<EpisodeJob>& jobs, std::size_t threads) {
+  std::vector<EpisodeOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  const std::size_t workers =
+      std::min(threads == 0 ? std::size_t{1} : threads, jobs.size());
+  if (workers <= 1) {
+    // Historical serial path: original victim/model, no pool dispatch.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      outcomes[i] = run_one_job(victim, game, model, jobs[i]);
+    return outcomes;
+  }
+
+  // One clone pair per worker; cloning costs one parameter copy, amortised
+  // over jobs.size() / workers episodes.
+  struct Worker {
+    rl::AgentPtr victim;
+    std::unique_ptr<seq2seq::Seq2SeqModel> model;
+  };
+  std::vector<Worker> pool_workers;
+  pool_workers.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    pool_workers.push_back({victim.clone(), model.clone()});
+
+  // Dynamic scheduling: episode lengths vary wildly (a successful attack
+  // ends CartPole episodes early), so workers pull the next job index from
+  // a shared counter instead of owning a static slice.
+  std::atomic<std::size_t> next{0};
+  util::ThreadPool::global().parallel_for_chunks(
+      workers, 1, [&](std::size_t w, std::size_t, std::size_t) {
+        Worker& worker = pool_workers[w];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          outcomes[i] = run_one_job(*worker.victim, game, *worker.model,
+                                    jobs[i]);
+        }
+      });
+  return outcomes;
+}
+
+}  // namespace rlattack::core

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "rlattack/core/parallel_episodes.hpp"
 #include "rlattack/nn/serialize.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/trainer.hpp"
@@ -106,8 +107,12 @@ double Zoo::victim_score(env::Game game, rl::Algorithm algorithm,
   rl::Agent& agent = victim(game, algorithm);
   env::EnvPtr eval_env =
       env::make_agent_environment(game, config_.seed ^ 0x777u);
-  const std::vector<double> rewards =
-      rl::evaluate_agent(agent, *eval_env, episodes, config_.seed ^ 0x777u);
+  // Episodes are independently seeded, so they fan out across the episode
+  // workers; rewards come back indexed by episode, keeping the mean
+  // bit-identical to the serial loop.
+  const std::vector<double> rewards = rl::evaluate_agent_parallel(
+      agent, *eval_env, episodes, config_.seed ^ 0x777u,
+      resolve_experiment_threads(config_.experiment_threads));
   return util::mean_of(rewards);
 }
 
@@ -145,8 +150,12 @@ const std::vector<env::Episode>& Zoo::episodes(env::Game game,
       env::make_agent_environment(game, config_.seed ^ 0xBEEFu);
   util::log_info("zoo: collecting ", observation_episodes(game),
                  " observation episodes from ", key);
-  auto eps = rl::collect_episodes(agent, *obs_env, observation_episodes(game),
-                                  config_.seed ^ 0xBEEFu);
+  // Observation traces are collected in parallel but stored in episode
+  // order, so the approximator's training set is independent of the
+  // worker count.
+  auto eps = rl::collect_episodes_parallel(
+      agent, *obs_env, observation_episodes(game), config_.seed ^ 0xBEEFu,
+      resolve_experiment_threads(config_.experiment_threads));
   auto [pos, inserted] = episodes_.emplace(key, std::move(eps));
   (void)inserted;
   return pos->second;

@@ -11,12 +11,24 @@ namespace rlattack::rl {
 
 A2cAgent::A2cAgent(ObsSpec obs, std::size_t actions, Config config,
                    std::uint64_t seed)
-    : obs_(std::move(obs)), actions_(actions), config_(config), rng_(seed) {
+    : obs_(std::move(obs)),
+      actions_(actions),
+      config_(config),
+      seed_(seed),
+      rng_(seed) {
   if (actions_ == 0) throw std::logic_error("A2cAgent: zero actions");
   util::Rng init_rng = rng_.split();
   net_ = make_net(obs_, actions_ + 1, config_.hidden, init_rng);
   optimizer_ = std::make_unique<nn::Adam>(*net_, config_.lr);
   rollout_.reserve(config_.rollout_len);
+}
+
+AgentPtr A2cAgent::clone() {
+  // Identical architecture from the original construction inputs, live
+  // weights copied over; the pending rollout stays with the original.
+  auto copy = std::make_unique<A2cAgent>(obs_, actions_, config_, seed_);
+  nn::copy_parameters(*copy->net_, *net_);
+  return copy;
 }
 
 std::size_t A2cAgent::act(const nn::Tensor& observation, bool explore) {

@@ -38,6 +38,7 @@ class A2cAgent final : public Agent {
   std::string algorithm() const override { return "a2c"; }
   nn::Layer& network() override { return *net_; }
   std::size_t action_count() const override { return actions_; }
+  AgentPtr clone() override;
 
   std::size_t update_count() const noexcept { return updates_; }
 
@@ -47,6 +48,7 @@ class A2cAgent final : public Agent {
   ObsSpec obs_;
   std::size_t actions_;
   Config config_;
+  std::uint64_t seed_;  ///< construction seed, reused to rebuild clones
   util::Rng rng_;
   nn::LayerPtr net_;  // outputs [B, actions + 1]
   std::unique_ptr<nn::Adam> optimizer_;

@@ -74,6 +74,7 @@ class QAgent final : public Agent {
   }
   nn::Layer& network() override { return *online_; }
   std::size_t action_count() const override { return actions_; }
+  AgentPtr clone() override;
 
   /// Current exploration epsilon (for diagnostics/tests).
   float epsilon() const noexcept;
@@ -92,6 +93,7 @@ class QAgent final : public Agent {
   ObsSpec obs_;
   std::size_t actions_;
   Config config_;
+  std::uint64_t seed_;  ///< construction seed, reused to rebuild clones
   util::Rng rng_;
 
   nn::LayerPtr online_;

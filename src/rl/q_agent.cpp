@@ -12,7 +12,11 @@ namespace rlattack::rl {
 
 QAgent::QAgent(ObsSpec obs, std::size_t actions, Config config,
                std::uint64_t seed)
-    : obs_(std::move(obs)), actions_(actions), config_(config), rng_(seed) {
+    : obs_(std::move(obs)),
+      actions_(actions),
+      config_(config),
+      seed_(seed),
+      rng_(seed) {
   if (actions_ == 0) throw std::logic_error("QAgent: zero actions");
   if (config_.n_step == 0) throw std::logic_error("QAgent: n_step must be >= 1");
   if (config_.use_distributional) {
@@ -57,6 +61,17 @@ float QAgent::epsilon() const noexcept {
   if (config_.use_noisy)  // decaying floor; parameter noise takes over
     return config_.noisy_eps_start * (1.0f - frac);
   return config_.eps_start + frac * (config_.eps_end - config_.eps_start);
+}
+
+AgentPtr QAgent::clone() {
+  // Rebuild from the original construction inputs (identical architecture),
+  // then overwrite the freshly initialised weights with the live ones.
+  // Replay/optimizer state is deliberately left fresh (see Agent::clone).
+  auto copy = std::make_unique<QAgent>(obs_, actions_, config_, seed_);
+  nn::copy_parameters(*copy->online_, *online_);
+  nn::copy_parameters(*copy->target_, *target_);
+  copy->env_steps_ = env_steps_;  // keeps the epsilon schedule aligned
+  return copy;
 }
 
 std::size_t QAgent::act(const nn::Tensor& observation, bool explore) {

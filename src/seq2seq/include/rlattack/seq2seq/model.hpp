@@ -79,6 +79,13 @@ class Seq2SeqModel {
 
   void zero_grad();
 
+  /// Deep copy with identical architecture and weights: rebuilds from the
+  /// original (config, seed) and copies every parameter tensor across, so a
+  /// clone's forward/backward is bit-identical to the source's. Forward
+  /// caches start empty — one clone per episode worker makes concurrent
+  /// attack crafting safe (forward/backward mutate internal caches).
+  std::unique_ptr<Seq2SeqModel> clone();
+
   const Seq2SeqConfig& config() const noexcept { return config_; }
 
  private:
@@ -88,6 +95,7 @@ class Seq2SeqModel {
   InputGrads backward_attention(const nn::Tensor& grad_logits);
 
   Seq2SeqConfig config_;
+  std::uint64_t seed_ = 0;       ///< construction seed, reused by clone()
   nn::Sequential action_head_;   // [B, n, A] -> [B, E]
   nn::Sequential obs_head_;      // [B, n, F] -> [B, E]  (pooling decoder)
   nn::Sequential current_head_;  // [B, F]    -> [B, E]

@@ -37,7 +37,7 @@ std::size_t append_frame_conv(nn::Sequential& net,
 }  // namespace
 
 Seq2SeqModel::Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed)
-    : config_(config) {
+    : config_(config), seed_(seed) {
   if (config_.actions == 0) throw std::logic_error("Seq2SeqModel: no actions");
   if (config_.input_steps == 0 || config_.output_steps == 0)
     throw std::logic_error("Seq2SeqModel: zero sequence length");
@@ -345,6 +345,12 @@ std::vector<nn::Param> Seq2SeqModel::params() {
 
 void Seq2SeqModel::zero_grad() {
   for (nn::Param& p : params()) p.grad->zero();
+}
+
+std::unique_ptr<Seq2SeqModel> Seq2SeqModel::clone() {
+  auto copy = std::make_unique<Seq2SeqModel>(config_, seed_);
+  nn::copy_parameters(copy->params(), params());
+  return copy;
 }
 
 Seq2SeqConfig make_cartpole_seq2seq_config(std::size_t input_steps,

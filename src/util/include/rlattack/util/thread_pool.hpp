@@ -69,6 +69,13 @@ class ThreadPool {
     return (n + grain - 1) / grain;
   }
 
+  /// True when the calling thread is currently executing a parallel_for
+  /// chunk (a pool worker, or the submitting thread while it helps drain).
+  /// Any parallel_for issued in this state runs caller-inline — the
+  /// nested-parallelism rule that lets episode-level fan-out wrap the GEMM
+  /// kernels without deadlock or oversubscription.
+  static bool inside_worker() noexcept;
+
  private:
   struct Impl;
   void run_chunked(std::size_t nchunks,

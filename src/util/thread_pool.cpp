@@ -129,6 +129,8 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() = default;
 
+bool ThreadPool::inside_worker() noexcept { return tls_inside_worker; }
+
 namespace {
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;

@@ -1,0 +1,212 @@
+// Determinism contract of the episode-parallel experiment layer: every
+// driver must produce bit-identical result rows at experiment_threads = 1
+// (the historical serial path: original victim/model, no pool dispatch)
+// and = 4 (cloned workers pulling jobs from the global pool). Registered
+// with CTest twice — RLATTACK_THREADS=1 and =4 — like kernels_test, so the
+// comparison runs both with a serial pool (clone/index bookkeeping only)
+// and with real concurrent workers.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "rlattack/core/experiments.hpp"
+
+namespace rlattack::core {
+namespace {
+
+class ExperimentsParallelTest : public ::testing::Test {
+ protected:
+  // One artefact cache for the whole suite: the first test trains the tiny
+  // victims/approximators, later tests load them from checkpoints.
+  static void SetUpTestSuite() {
+    // Per-process path: CTest runs the .threads1 and .threads4 registrations
+    // of this binary concurrently, and they must not share (and delete) one
+    // training cache under each other.
+    cache_ = ::testing::TempDir() + "rlattack_parallel_cache_" +
+             std::to_string(::getpid());
+    std::filesystem::remove_all(cache_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(cache_);
+    std::filesystem::remove_all(cache_ + "_timebomb");
+  }
+
+  static Zoo make_tiny_zoo() {
+    ZooConfig cfg;
+    cfg.cache_dir = cache_;
+    cfg.scale = 0.02;  // ~8 training episodes, 2 seq2seq epochs
+    cfg.seed = 7;
+    cfg.verbose = false;
+    return Zoo(cfg);
+  }
+
+  static std::string cache_;
+};
+
+std::string ExperimentsParallelTest::cache_;
+
+TEST_F(ExperimentsParallelTest, RewardExperimentBitIdenticalAcrossThreads) {
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kGaussian, attack::Kind::kFgsm};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 1000;
+
+  zoo.set_experiment_threads(1);
+  ExperimentTiming serial_timing;
+  const auto serial = run_reward_experiment(zoo, cfg, &serial_timing);
+  zoo.set_experiment_threads(4);
+  ExperimentTiming parallel_timing;
+  const auto parallel = run_reward_experiment(zoo, cfg, &parallel_timing);
+
+  EXPECT_EQ(serial_timing.threads, 1u);
+  EXPECT_EQ(parallel_timing.threads, 4u);
+  EXPECT_EQ(parallel_timing.episodes, 2u * 2u * 3u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].attack, parallel[i].attack) << "row " << i;
+    EXPECT_EQ(serial[i].l2_budget, parallel[i].l2_budget) << "row " << i;
+    EXPECT_EQ(serial[i].mean_reward, parallel[i].mean_reward) << "row " << i;
+    EXPECT_EQ(serial[i].stddev_reward, parallel[i].stddev_reward)
+        << "row " << i;
+    EXPECT_EQ(serial[i].mean_realised_l2, parallel[i].mean_realised_l2)
+        << "row " << i;
+    EXPECT_EQ(serial[i].sequence_variant, parallel[i].sequence_variant)
+        << "row " << i;
+  }
+}
+
+TEST_F(ExperimentsParallelTest,
+       TransferabilityExperimentBitIdenticalAcrossThreads) {
+  Zoo zoo = make_tiny_zoo();
+  TransferabilityConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kGaussian, attack::Kind::kFgsm};
+  cfg.l2_budgets = {0.5, 1.0};
+  cfg.runs = 3;
+  cfg.seed = 2000;
+
+  zoo.set_experiment_threads(1);
+  const auto serial = run_transferability_experiment(zoo, cfg);
+  zoo.set_experiment_threads(4);
+  const auto parallel = run_transferability_experiment(zoo, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].attack, parallel[i].attack) << "row " << i;
+    EXPECT_EQ(serial[i].l2_budget, parallel[i].l2_budget) << "row " << i;
+    EXPECT_EQ(serial[i].transfer_rate, parallel[i].transfer_rate)
+        << "row " << i;
+    EXPECT_EQ(serial[i].samples, parallel[i].samples) << "row " << i;
+  }
+}
+
+TEST_F(ExperimentsParallelTest, TimebombExperimentBitIdenticalAcrossThreads) {
+  // The time-bomb driver trains the m = max(delay)+1 approximator, whose
+  // length search needs observation episodes of >= n + m steps — more than
+  // the 0.02 zoo's single short episode provides. Use a slightly larger zoo
+  // with its own cache (checkpoint keys do not encode the scale).
+  ZooConfig zcfg;
+  zcfg.cache_dir = cache_ + "_timebomb";
+  zcfg.scale = 0.1;
+  zcfg.seed = 7;
+  zcfg.verbose = false;
+  Zoo zoo(zcfg);
+  TimeBombConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.victim_algorithm = rl::Algorithm::kDqn;
+  cfg.approximator_source = rl::Algorithm::kDqn;
+  cfg.attack_kind = attack::Kind::kFgsm;
+  cfg.epsilon_linf = 0.3f;
+  cfg.delays = {1, 2, 3};
+  cfg.runs = 3;
+  cfg.seed = 3000;
+
+  zoo.set_experiment_threads(1);
+  const auto serial = run_timebomb_experiment(zoo, cfg);
+  zoo.set_experiment_threads(4);
+  ExperimentTiming timing;
+  const auto parallel = run_timebomb_experiment(zoo, cfg, &timing);
+
+  // 3 delays x 3 runs x (clean + attacked) episodes.
+  EXPECT_EQ(timing.episodes, 3u * 3u * 2u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].delay, parallel[i].delay) << "row " << i;
+    EXPECT_EQ(serial[i].trials, parallel[i].trials) << "row " << i;
+    EXPECT_EQ(serial[i].success_rate, parallel[i].success_rate)
+        << "row " << i;
+  }
+}
+
+TEST_F(ExperimentsParallelTest, ZooEpisodeLoopsBitIdenticalAcrossThreads) {
+  // Zoo::victim_score and Zoo::episodes fan their independently seeded
+  // episodes over the same runner; scores and traces must not depend on
+  // the worker count.
+  Zoo serial_zoo = make_tiny_zoo();
+  serial_zoo.set_experiment_threads(1);
+  Zoo parallel_zoo = make_tiny_zoo();  // same cache: identical artefacts
+  parallel_zoo.set_experiment_threads(4);
+
+  const double serial_score =
+      serial_zoo.victim_score(env::Game::kCartPole, rl::Algorithm::kDqn, 6);
+  const double parallel_score =
+      parallel_zoo.victim_score(env::Game::kCartPole, rl::Algorithm::kDqn, 6);
+  EXPECT_EQ(serial_score, parallel_score);
+
+  const auto& serial_eps =
+      serial_zoo.episodes(env::Game::kCartPole, rl::Algorithm::kDqn);
+  const auto& parallel_eps =
+      parallel_zoo.episodes(env::Game::kCartPole, rl::Algorithm::kDqn);
+  ASSERT_EQ(serial_eps.size(), parallel_eps.size());
+  for (std::size_t e = 0; e < serial_eps.size(); ++e) {
+    ASSERT_EQ(serial_eps[e].steps.size(), parallel_eps[e].steps.size())
+        << "episode " << e;
+    for (std::size_t s = 0; s < serial_eps[e].steps.size(); ++s) {
+      const auto& a = serial_eps[e].steps[s];
+      const auto& b = parallel_eps[e].steps[s];
+      EXPECT_EQ(a.action, b.action) << "episode " << e << " step " << s;
+      EXPECT_EQ(a.reward, b.reward) << "episode " << e << " step " << s;
+      EXPECT_EQ(a.done, b.done) << "episode " << e << " step " << s;
+      ASSERT_EQ(a.observation.size(), b.observation.size());
+      for (std::size_t i = 0; i < a.observation.size(); ++i)
+        ASSERT_EQ(a.observation[i], b.observation[i])
+            << "episode " << e << " step " << s << " obs " << i;
+    }
+  }
+}
+
+TEST_F(ExperimentsParallelTest, CloneContractHoldsForAgentsAndModel) {
+  Zoo zoo = make_tiny_zoo();
+  rl::Agent& victim = zoo.victim(env::Game::kCartPole, rl::Algorithm::kDqn);
+  rl::AgentPtr copy = victim.clone();
+  nn::Tensor probe({4}, {0.05f, -0.2f, 0.11f, 0.4f});
+  EXPECT_EQ(copy->action_count(), victim.action_count());
+  EXPECT_EQ(copy->algorithm(), victim.algorithm());
+  EXPECT_EQ(copy->act(probe, false), victim.act(probe, false));
+
+  ApproximatorInfo approx =
+      zoo.approximator(env::Game::kCartPole, rl::Algorithm::kDqn, 1);
+  auto model_copy = approx.model->clone();
+  const auto& mc = approx.model->config();
+  nn::Tensor actions({1, mc.input_steps, mc.actions});
+  nn::Tensor history({1, mc.input_steps, mc.frame_size()});
+  nn::Tensor current({1, mc.frame_size()});
+  for (std::size_t i = 0; i < history.size(); ++i)
+    history[i] = 0.01f * static_cast<float>(i % 17);
+  for (std::size_t i = 0; i < current.size(); ++i)
+    current[i] = 0.3f - 0.1f * static_cast<float>(i);
+  nn::Tensor original_out = approx.model->forward(actions, history, current);
+  nn::Tensor clone_out = model_copy->forward(actions, history, current);
+  ASSERT_EQ(original_out.size(), clone_out.size());
+  for (std::size_t i = 0; i < original_out.size(); ++i)
+    ASSERT_EQ(original_out[i], clone_out[i]) << "logit " << i;
+}
+
+}  // namespace
+}  // namespace rlattack::core
