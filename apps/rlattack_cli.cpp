@@ -2,15 +2,15 @@
 //
 //   rlattack train       --game cartpole --algo dqn --episodes 300 --out v.ckpt
 //   rlattack eval        --game cartpole --algo dqn --ckpt v.ckpt --episodes 10
-//   rlattack observe     --game cartpole --algo dqn --ckpt v.ckpt \
+//   rlattack observe     --game cartpole --algo dqn --ckpt v.ckpt
 //                        --episodes 40 --out traces.rltr
-//   rlattack approximate --game cartpole --traces traces.rltr --m 1 \
+//   rlattack approximate --game cartpole --traces traces.rltr --m 1
 //                        --epochs 60 --out s2s.ckpt --meta s2s.meta
-//   rlattack attack      --game cartpole --algo dqn --victim v.ckpt \
-//                        --model s2s.ckpt --meta s2s.meta --attack fgsm \
+//   rlattack attack      --game cartpole --algo dqn --victim v.ckpt
+//                        --model s2s.ckpt --meta s2s.meta --attack fgsm
 //                        --norm l2 --eps 1.0 --runs 10
-//   rlattack timebomb    --game cartpole --algo dqn --victim v.ckpt \
-//                        --model s2s.ckpt --meta s2s.meta --delay 4 \
+//   rlattack timebomb    --game cartpole --algo dqn --victim v.ckpt
+//                        --model s2s.ckpt --meta s2s.meta --delay 4
 //                        --eps 0.5 --runs 15
 //   rlattack table1
 //
@@ -231,7 +231,9 @@ int cmd_attack(const util::CliArgs& args) {
             << "\nattacked reward: "
             << util::fmt_pm(attacked_stats.mean(), attacked_stats.stddev(), 2)
             << "\ntransfer rate:   "
-            << util::fmt(samples ? static_cast<double>(flips) / samples : 0.0,
+            << util::fmt(samples ? static_cast<double>(flips) /
+                                       static_cast<double>(samples)
+                                 : 0.0,
                          3)
             << " (" << samples << " samples)\n";
   return 0;

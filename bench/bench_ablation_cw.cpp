@@ -42,9 +42,14 @@ int main() {
                              .count();
     table.add_row(
         {attack::attack_name(kind),
-         util::fmt(samples ? static_cast<double>(flips) / samples : 0.0, 3),
-         util::fmt(samples ? l2_sum / samples : 0.0, 3),
-         util::fmt(samples ? static_cast<double>(elapsed) / samples : 0.0,
+         util::fmt(samples
+                       ? static_cast<double>(flips) / static_cast<double>(samples)
+                       : 0.0,
+                   3),
+         util::fmt(samples ? l2_sum / static_cast<double>(samples) : 0.0, 3),
+         util::fmt(samples ? static_cast<double>(elapsed) /
+                                 static_cast<double>(samples)
+                           : 0.0,
                    1)});
   }
   bench::emit(table, "ablation_cw",

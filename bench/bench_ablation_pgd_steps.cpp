@@ -30,7 +30,8 @@ int main() {
       samples += outcome.attacks_attempted;
     }
     table.add_row({std::to_string(steps),
-                   util::fmt(samples ? static_cast<double>(flips) / samples
+                   util::fmt(samples ? static_cast<double>(flips) /
+                                           static_cast<double>(samples)
                                      : 0.0,
                              3),
                    std::to_string(samples)});

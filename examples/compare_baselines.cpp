@@ -60,7 +60,9 @@ int main() {
       table.add_row(
           {attack::attack_name(kind), util::fmt(budget_value, 2),
            util::fmt(rewards.mean(), 1),
-           util::fmt(samples ? static_cast<double>(flips) / samples : 0.0,
+           util::fmt(samples ? static_cast<double>(flips) /
+                                   static_cast<double>(samples)
+                             : 0.0,
                      3)});
     }
   }

@@ -85,7 +85,8 @@ int main() {
   std::cout << "\nHow far ahead can the observer call the pilot's moves?\n"
             << table.to_string()
             << "\n(chance level for " << cfg.actions
-            << " actions is " << util::fmt(1.0 / cfg.actions, 3)
+            << " actions is "
+            << util::fmt(1.0 / static_cast<double>(cfg.actions), 3)
             << "; accuracy decays with horizon but stays above chance)\n";
   return 0;
 }

@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# Correctness-tooling driver: configures, builds and tests every sanitizer /
+# static-analysis configuration in one command and writes a machine-parseable
+# per-config summary to CHECKS.json.
+#
+#   ./run_checks.sh                 # full matrix
+#   ./run_checks.sh asan checked    # just those configs
+#
+# Configs:
+#   werror   -Wall -Wextra -Wpedantic -Wshadow -Wconversion -Werror over the
+#            whole tree (libs, tests, benches, examples, cli); build only
+#   asan     AddressSanitizer build + full ctest
+#   ubsan    UndefinedBehaviorSanitizer (no recovery) build + full ctest
+#   tsan     ThreadSanitizer build + the concurrency-relevant suites
+#            (GEMM kernel dispatch, thread pool, episode-parallel drivers)
+#   checked  RLATTACK_CHECKED invariant layer compiled in + full ctest,
+#            including the checked_invariants_test negative suite
+#   tidy     run-clang-tidy over src/ with the repo .clang-tidy; SKIPPED
+#            (not failed) when clang-tidy is not on PATH
+#
+# Exit status: non-zero if any selected config fails. A skipped tidy step
+# (missing tool) does not fail the run; CHECKS.json records it as "skipped"
+# so CI environments that do ship clang-tidy can gate on "pass" explicitly.
+set -u -o pipefail
+
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy)
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=("${ALL_CONFIGS[@]}")
+fi
+
+# TSan runs the suites that exercise the thread pool and the episode-parallel
+# reduction; the remaining tests are single-threaded re-runs of the same code
+# ASan/UBSan already cover, and TSan's ~10x slowdown makes them poor value.
+TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel'
+
+LOG_DIR="checks-logs"
+mkdir -p "${LOG_DIR}"
+
+declare -A STATUS SECONDS_TAKEN DETAIL
+
+run_logged() {
+  # run_logged <logfile> <cmd...>
+  local log="$1"
+  shift
+  "$@" >>"${log}" 2>&1
+}
+
+configure_build() {
+  # configure_build <name> <builddir> <log> [extra cmake args...]
+  local name="$1" dir="$2" log="$3"
+  shift 3
+  run_logged "${log}" cmake -B "${dir}" -S . "$@" || return 1
+  run_logged "${log}" cmake --build "${dir}" -j "${JOBS}" || return 1
+}
+
+run_ctest() {
+  # run_ctest <builddir> <log> [ctest args...]
+  local dir="$1" log="$2"
+  shift 2
+  (cd "${dir}" && run_logged "../${log}" ctest --output-on-failure -j "${JOBS}" "$@")
+}
+
+run_config() {
+  local name="$1"
+  local log="${LOG_DIR}/${name}.log"
+  : >"${log}"
+  local start end
+  start=$(date +%s)
+  local rc=0
+  case "${name}" in
+    werror)
+      configure_build werror build-werror "${log}" \
+        -DRLATTACK_WARNINGS_AS_ERRORS=ON || rc=1
+      DETAIL[${name}]="full-tree build with -Werror"
+      ;;
+    asan)
+      configure_build asan build-asan "${log}" \
+        -DRLATTACK_ASAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+          run_ctest build-asan "${log}" || rc=1
+      fi
+      DETAIL[${name}]="AddressSanitizer build + full ctest"
+      ;;
+    ubsan)
+      configure_build ubsan build-ubsan "${log}" \
+        -DRLATTACK_UBSAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+          run_ctest build-ubsan "${log}" || rc=1
+      fi
+      DETAIL[${name}]="UndefinedBehaviorSanitizer build + full ctest"
+      ;;
+    tsan)
+      configure_build tsan build-tsan "${log}" \
+        -DRLATTACK_TSAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+          run_ctest build-tsan "${log}" -R "${TSAN_FILTER}" || rc=1
+      fi
+      DETAIL[${name}]="ThreadSanitizer build + concurrency suites (-R '${TSAN_FILTER}')"
+      ;;
+    checked)
+      configure_build checked build-checked "${log}" \
+        -DRLATTACK_CHECKED=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        run_ctest build-checked "${log}" || rc=1
+      fi
+      DETAIL[${name}]="RLATTACK_CHECKED invariants + full ctest (incl. checked_invariants_test)"
+      ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        STATUS[${name}]="skipped"
+        DETAIL[${name}]="clang-tidy not on PATH"
+        SECONDS_TAKEN[${name}]=0
+        echo "clang-tidy not on PATH; step skipped" >>"${log}"
+        return 0
+      fi
+      # Reuse (or create) the default build dir purely for its
+      # compile_commands.json — CMAKE_EXPORT_COMPILE_COMMANDS is always on.
+      if [ ! -f build/compile_commands.json ]; then
+        run_logged "${log}" cmake -B build -S . || rc=1
+      fi
+      if [ ${rc} -eq 0 ]; then
+        if command -v run-clang-tidy >/dev/null 2>&1; then
+          run_logged "${log}" run-clang-tidy -p build -quiet \
+            "$(pwd)/src/.*\.cpp" || rc=1
+        else
+          # Fallback: serial clang-tidy over every src/ translation unit.
+          local f
+          while IFS= read -r f; do
+            run_logged "${log}" clang-tidy -p build "${f}" || rc=1
+          done < <(find src -name '*.cpp' | sort)
+        fi
+      fi
+      DETAIL[${name}]="clang-tidy over src/ (.clang-tidy, WarningsAsErrors=*)"
+      ;;
+    *)
+      echo "run_checks.sh: unknown config '${name}'" >&2
+      echo "known configs: ${ALL_CONFIGS[*]}" >&2
+      exit 2
+      ;;
+  esac
+  end=$(date +%s)
+  SECONDS_TAKEN[${name}]=$((end - start))
+  if [ ${rc} -eq 0 ]; then
+    STATUS[${name}]="pass"
+  else
+    STATUS[${name}]="fail"
+  fi
+}
+
+OVERALL=pass
+for cfg in "${CONFIGS[@]}"; do
+  printf '== %-8s ... ' "${cfg}"
+  run_config "${cfg}"
+  printf '%s (%ss)\n' "${STATUS[${cfg}]}" "${SECONDS_TAKEN[${cfg}]}"
+  if [ "${STATUS[${cfg}]}" = "fail" ]; then
+    OVERALL=fail
+    echo "   see ${LOG_DIR}/${cfg}.log"
+  fi
+done
+
+# Machine-parseable summary for CI gating.
+{
+  echo '{'
+  echo '  "tool": "run_checks.sh",'
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"overall\": \"${OVERALL}\","
+  echo '  "configs": {'
+  sep=''
+  for cfg in "${CONFIGS[@]}"; do
+    printf '%s    "%s": {"status": "%s", "seconds": %s, "detail": "%s", "log": "%s"}' \
+      "${sep}" "${cfg}" "${STATUS[${cfg}]}" "${SECONDS_TAKEN[${cfg}]}" \
+      "${DETAIL[${cfg}]}" "${LOG_DIR}/${cfg}.log"
+    sep=$',\n'
+  done
+  printf '\n  }\n}\n'
+} > CHECKS.json
+
+echo "-- CHECKS.json written (overall: ${OVERALL})"
+[ "${OVERALL}" = "pass" ]

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "rlattack/nn/loss.hpp"
+#include "rlattack/util/check.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::attack {
@@ -87,6 +88,46 @@ nn::Tensor crafting_direction(seq2seq::Seq2SeqModel& model,
 
 }  // namespace
 
+// The budget is measured against the bounds-clamped original because
+// clamping is 1-Lipschitz: every attack that satisfied its budget pre-clamp
+// provably satisfies this check, so a trip always means a genuinely broken
+// attack implementation — never a false positive from the clip step.
+void check_perturbation(const nn::Tensor& original,
+                        const nn::Tensor& perturbed, const Budget& budget,
+                        env::ObservationBounds bounds, const char* attack) {
+  const std::string who(attack);
+  RLATTACK_CHECK(perturbed.same_shape(original),
+                 who + ": perturbed shape " + perturbed.shape_string() +
+                     " != original shape " + original.shape_string());
+  RLATTACK_CHECK(util::all_finite(perturbed.data()),
+                 who + ": non-finite perturbed observation");
+  constexpr float kBoundsTol = 1e-6f;
+  double norm_sq = 0.0;
+  double linf = 0.0;
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    const float x = perturbed[i];
+    RLATTACK_CHECK(x >= bounds.low - kBoundsTol && x <= bounds.high + kBoundsTol,
+                   who + ": element " + std::to_string(i) + " = " +
+                       std::to_string(x) + " escapes observation bounds [" +
+                       std::to_string(bounds.low) + ", " +
+                       std::to_string(bounds.high) + "]");
+    const double d =
+        static_cast<double>(x) -
+        static_cast<double>(std::clamp(original[i], bounds.low, bounds.high));
+    norm_sq += d * d;
+    linf = std::max(linf, std::abs(d));
+  }
+  const double norm =
+      budget.norm == Budget::Norm::kL2 ? std::sqrt(norm_sq) : linf;
+  const double allowed =
+      static_cast<double>(budget.epsilon) * (1.0 + 1e-4) + 1e-6;
+  RLATTACK_CHECK(
+      norm <= allowed,
+      who + ": perturbation norm " + std::to_string(norm) +
+          " exceeds declared budget epsilon " + std::to_string(budget.epsilon) +
+          (budget.norm == Budget::Norm::kL2 ? " (L2)" : " (Linf)"));
+}
+
 std::vector<std::size_t> predict_actions(seq2seq::Seq2SeqModel& model,
                                          const CraftInputs& inputs) {
   nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
@@ -133,6 +174,8 @@ nn::Tensor GaussianAttack::perturb(seq2seq::Seq2SeqModel& /*model*/,
   nn::Tensor out = inputs.current_obs;
   out += delta;
   for (float& x : out.data()) x = std::clamp(x, bounds.low, bounds.high);
+  if constexpr (util::kCheckedBuild)
+    check_perturbation(inputs.current_obs, out, budget, bounds, "gaussian");
   return out;
 }
 
@@ -159,6 +202,8 @@ nn::Tensor FgsmAttack::perturb(seq2seq::Seq2SeqModel& model,
   nn::Tensor out = inputs.current_obs;
   out += delta;
   for (float& x : out.data()) x = std::clamp(x, bounds.low, bounds.high);
+  if constexpr (util::kCheckedBuild)
+    check_perturbation(inputs.current_obs, out, budget, bounds, "fgsm");
   return out;
 }
 
@@ -195,6 +240,8 @@ nn::Tensor PgdAttack::perturb(seq2seq::Seq2SeqModel& model,
     candidate += step;
     project(candidate, inputs.current_obs, budget, bounds);
   }
+  if constexpr (util::kCheckedBuild)
+    check_perturbation(inputs.current_obs, candidate, budget, bounds, "pgd");
   return candidate;
 }
 
@@ -276,6 +323,8 @@ nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
     }
     project(candidate, inputs.current_obs, budget, bounds);
   }
+  if constexpr (util::kCheckedBuild)
+    check_perturbation(inputs.current_obs, candidate, budget, bounds, "cw");
   return candidate;
 }
 
@@ -343,6 +392,8 @@ nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
     candidate[pick] += saliency[pick] > 0.0f ? theta : -theta;
     project(candidate, inputs.current_obs, budget, bounds);
   }
+  if constexpr (util::kCheckedBuild)
+    check_perturbation(inputs.current_obs, candidate, budget, bounds, "jsma");
   return candidate;
 }
 

@@ -149,6 +149,17 @@ class JsmaAttack final : public Attack {
   std::size_t max_features_;
 };
 
+/// Checked-build (RLATTACK_CHECKED) audit of a finished perturbation: same
+/// shape as the original, all-finite, inside the observation bounds, and
+/// within the declared epsilon-ball of the (bounds-clamped) original. Every
+/// built-in attack self-checks through this, and the episode pipeline runs
+/// it after each Attack::perturb so third-party attacks are verified at the
+/// same trust boundary. Throws util::CheckFailure on violation; a no-op in
+/// release builds.
+void check_perturbation(const nn::Tensor& original,
+                        const nn::Tensor& perturbed, const Budget& budget,
+                        env::ObservationBounds bounds, const char* attack);
+
 /// Attack identifiers used across benches/tests.
 enum class Kind { kGaussian, kFgsm, kPgd, kCw, kJsma };
 AttackPtr make_attack(Kind kind);

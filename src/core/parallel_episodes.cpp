@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "rlattack/util/check.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::core {
@@ -29,6 +30,24 @@ EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
   attack::AttackPtr attacker = attack::make_attack(job.attack);
   AttackSession session(victim, game, model, *attacker, job.budget);
   return session.run_episode(job.policy, job.seed);
+}
+
+/// Number of Rng draws hashed per job when cross-checking stream purity in
+/// checked builds. Enough to cover the seed-derived splits an episode
+/// performs up front; cheap enough to recompute on every worker.
+constexpr std::size_t kCheckedRngDraws = 32;
+
+/// Order-sensitive hash of every parameter tensor of a model/agent clone.
+/// Clones must be bit-identical to their source before any job runs —
+/// divergent weights would silently break the run-order reduction's
+/// bit-identical-rows contract.
+std::uint64_t hash_params(const std::vector<nn::Param>& params) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const nn::Param& p : params) {
+    const std::uint64_t t = util::hash_floats(p.value->data());
+    h ^= t + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
 }
 
 }  // namespace
@@ -59,20 +78,66 @@ std::vector<EpisodeOutcome> run_episode_jobs(
   for (std::size_t w = 0; w < workers; ++w)
     pool_workers.push_back({victim.clone(), model.clone()});
 
+  // Checked build: the run-order reduction is only bit-identical across
+  // thread counts if (a) every worker clone starts from exactly the source
+  // weights and (b) each job's RNG stream is a pure function of its seed.
+  // Hash both up front so a violation trips here, at the point of
+  // occurrence, instead of surfacing as a mysteriously different CSV row.
+  std::vector<std::uint64_t> expected_stream_hash;
+  if constexpr (util::kCheckedBuild) {
+    const std::uint64_t victim_hash = hash_params(victim.network().params());
+    const std::uint64_t model_hash = hash_params(model.params());
+    for (std::size_t w = 0; w < workers; ++w) {
+      RLATTACK_CHECK(
+          hash_params(pool_workers[w].victim->network().params()) ==
+              victim_hash,
+          "run_episode_jobs: victim clone " + std::to_string(w) +
+              " diverges from source parameters before any job ran");
+      RLATTACK_CHECK(
+          hash_params(pool_workers[w].model->params()) == model_hash,
+          "run_episode_jobs: model clone " + std::to_string(w) +
+              " diverges from source parameters before any job ran");
+    }
+    expected_stream_hash.reserve(jobs.size());
+    for (const EpisodeJob& job : jobs)
+      expected_stream_hash.push_back(
+          util::hash_rng_stream(job.seed, kCheckedRngDraws));
+  }
+
   // Dynamic scheduling: episode lengths vary wildly (a successful attack
   // ends CartPole episodes early), so workers pull the next job index from
   // a shared counter instead of owning a static slice.
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
   util::ThreadPool::global().parallel_for_chunks(
       workers, 1, [&](std::size_t w, std::size_t, std::size_t) {
         Worker& worker = pool_workers[w];
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= jobs.size()) return;
+          if constexpr (util::kCheckedBuild) {
+            // Re-derive the job's RNG stream on the worker that will run it:
+            // any seed-plumbing or shared-state bug that makes the stream
+            // depend on *which* thread executes the job is caught before
+            // the episode contaminates the result vector.
+            RLATTACK_CHECK(
+                util::hash_rng_stream(jobs[i].seed, kCheckedRngDraws) ==
+                    expected_stream_hash[i],
+                "run_episode_jobs: job " + std::to_string(i) +
+                    " RNG stream is not a pure function of its seed");
+          }
           outcomes[i] = run_one_job(*worker.victim, game, *worker.model,
                                     jobs[i]);
+          completed.fetch_add(1, std::memory_order_relaxed);
         }
       });
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(completed.load(std::memory_order_relaxed) == jobs.size(),
+                   "run_episode_jobs: " +
+                       std::to_string(completed.load()) + " of " +
+                       std::to_string(jobs.size()) +
+                       " jobs completed — outcome vector has holes");
+  }
   return outcomes;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rlattack/util/check.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::core {
@@ -99,6 +100,14 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
       }
       nn::Tensor perturbed_flat = attack_.perturb(model_, inputs, goal,
                                                   budget_, bounds, rng);
+      if constexpr (util::kCheckedBuild) {
+        // Trust boundary for *any* Attack implementation (including ones
+        // built outside this repo): the sample delivered to the victim must
+        // actually satisfy the declared budget and clip range.
+        attack::check_perturbation(inputs.current_obs, perturbed_flat,
+                                   budget_, bounds,
+                                   attack_.name().c_str());
+      }
       // Norm accounting on the realised (clamped) perturbation.
       nn::Tensor delta = perturbed_flat;
       delta -= inputs.current_obs;

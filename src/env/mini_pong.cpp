@@ -35,8 +35,9 @@ void MiniPong::launch_ball(int direction) {
 }
 
 nn::Tensor MiniPong::reset() {
-  const double mid =
-      (static_cast<double>(config_.height) - config_.paddle_height) / 2.0;
+  const double mid = (static_cast<double>(config_.height) -
+                      static_cast<double>(config_.paddle_height)) /
+                     2.0;
   player_y_ = mid;
   cpu_y_ = mid;
   player_points_ = 0;
@@ -53,8 +54,8 @@ StepResult MiniPong::step(std::size_t action) {
   if (action >= action_count())
     throw std::logic_error("MiniPong::step: invalid action");
 
-  const double max_top =
-      static_cast<double>(config_.height) - config_.paddle_height;
+  const double max_top = static_cast<double>(config_.height) -
+                         static_cast<double>(config_.paddle_height);
   if (action == 1) player_y_ -= config_.player_speed;
   if (action == 2) player_y_ += config_.player_speed;
   player_y_ = std::clamp(player_y_, 0.0, max_top);
@@ -62,8 +63,9 @@ StepResult MiniPong::step(std::size_t action) {
   // CPU tracks the ball centre at limited speed, only while the ball is
   // moving toward it — otherwise it drifts back to centre.
   const double cpu_target =
-      ball_vx_ < 0.0 ? ball_y_ - config_.paddle_height / 2.0
-                     : max_top / 2.0;
+      ball_vx_ < 0.0
+          ? ball_y_ - static_cast<double>(config_.paddle_height) / 2.0
+          : max_top / 2.0;
   const double cpu_delta =
       std::clamp(cpu_target - cpu_y_, -config_.cpu_speed, config_.cpu_speed);
   cpu_y_ = std::clamp(cpu_y_ + cpu_delta, 0.0, max_top);

@@ -34,6 +34,12 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Checked-build bookkeeping (util::kCheckedBuild): per-layer input shapes
+  // and the chain output shape recorded by forward, so backward can verify
+  // the gradient contract (each layer's input gradient matches its forward
+  // input shape) at every boundary. Empty in release builds.
+  std::vector<std::vector<std::size_t>> checked_input_shapes_;
+  std::vector<std::size_t> checked_output_shape_;
 };
 
 /// Applies an inner layer independently at every timestep of a [B, T, ...]

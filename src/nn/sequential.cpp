@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rlattack/util/check.hpp"
+
 namespace rlattack::nn {
 
 Sequential& Sequential::add(LayerPtr layer) {
@@ -12,14 +14,58 @@ Sequential& Sequential::add(LayerPtr layer) {
 
 Tensor Sequential::forward(const Tensor& input) {
   Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x);
+  if constexpr (util::kCheckedBuild) {
+    checked_input_shapes_.clear();
+    RLATTACK_CHECK(util::all_finite(x.data()),
+                   "Sequential::forward: non-finite input (element " +
+                       std::to_string(util::first_non_finite(x.data())) +
+                       " of " + x.shape_string() + ")");
+  }
+  for (auto& l : layers_) {
+    if constexpr (util::kCheckedBuild) checked_input_shapes_.push_back(x.shape());
+    x = l->forward(x);
+    if constexpr (util::kCheckedBuild) {
+      const std::size_t bad = util::first_non_finite(x.data());
+      RLATTACK_CHECK(bad == static_cast<std::size_t>(-1),
+                     "Sequential::forward: layer " + l->name() +
+                         " produced non-finite output (element " +
+                         std::to_string(bad) + " of " + x.shape_string() + ")");
+    }
+  }
+  if constexpr (util::kCheckedBuild) checked_output_shape_ = x.shape();
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(checked_input_shapes_.size() == layers_.size(),
+                   "Sequential::backward: called without a matching forward");
+    RLATTACK_CHECK(grad_output.shape() == checked_output_shape_,
+                   "Sequential::backward: gradient shape " +
+                       grad_output.shape_string() +
+                       " does not match forward output shape " +
+                       util::shape_string(checked_output_shape_));
+    RLATTACK_CHECK(
+        util::all_finite(grad_output.data()),
+        "Sequential::backward: non-finite incoming gradient (element " +
+            std::to_string(util::first_non_finite(grad_output.data())) + ")");
+  }
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+    if constexpr (util::kCheckedBuild) {
+      RLATTACK_CHECK(g.shape() == checked_input_shapes_[i],
+                     "Sequential::backward: layer " + layers_[i]->name() +
+                         " returned gradient " + g.shape_string() +
+                         " for forward input " +
+                         util::shape_string(checked_input_shapes_[i]));
+      const std::size_t bad = util::first_non_finite(g.data());
+      RLATTACK_CHECK(bad == static_cast<std::size_t>(-1),
+                     "Sequential::backward: layer " + layers_[i]->name() +
+                         " produced non-finite gradient (element " +
+                         std::to_string(bad) + ")");
+    }
+  }
   return g;
 }
 

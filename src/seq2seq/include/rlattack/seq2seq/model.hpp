@@ -93,6 +93,9 @@ class Seq2SeqModel {
                                const nn::Tensor& obs_history,
                                const nn::Tensor& current_obs);
   InputGrads backward_attention(const nn::Tensor& grad_logits);
+  /// Checked-build (util::kCheckedBuild) NaN/Inf audit of the gradients
+  /// returned to the attack layer; no-op condition in release builds.
+  void check_input_grads(const InputGrads& grads) const;
 
   Seq2SeqConfig config_;
   std::uint64_t seed_ = 0;       ///< construction seed, reused by clone()

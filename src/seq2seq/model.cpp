@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rlattack/util/check.hpp"
+
 #include "rlattack/nn/activations.hpp"
 #include "rlattack/nn/conv2d.hpp"
 #include "rlattack/nn/dense.hpp"
@@ -129,6 +131,14 @@ nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
     throw std::logic_error("Seq2SeqModel::forward: bad current observation " +
                            current_obs.shape_string());
   cached_batch_ = action_history.dim(0);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(action_history.data()),
+                   "Seq2SeqModel::forward: non-finite action history");
+    RLATTACK_CHECK(util::all_finite(obs_history.data()),
+                   "Seq2SeqModel::forward: non-finite observation history");
+    RLATTACK_CHECK(util::all_finite(current_obs.data()),
+                   "Seq2SeqModel::forward: non-finite current observation");
+  }
   if (config_.use_attention)
     return forward_attention(action_history, obs_history, current_obs);
 
@@ -155,7 +165,15 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
       grad_logits.dim(1) != m || grad_logits.dim(2) != config_.actions)
     throw std::logic_error("Seq2SeqModel::backward: bad gradient shape " +
                            grad_logits.shape_string());
-  if (config_.use_attention) return backward_attention(grad_logits);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(grad_logits.data()),
+                   "Seq2SeqModel::backward: non-finite logits gradient");
+  }
+  if (config_.use_attention) {
+    InputGrads grads = backward_attention(grad_logits);
+    if constexpr (util::kCheckedBuild) check_input_grads(grads);
+    return grads;
+  }
 
   nn::Tensor grad_repeated = decoder_.backward(grad_logits);  // [B, m, E]
   // Duplication backward: sum gradients across the m copies.
@@ -170,7 +188,23 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
   grads.action_history = action_head_.backward(grad_embedding);
   grads.obs_history = obs_head_.backward(grad_embedding);
   grads.current_obs = current_head_.backward(grad_embedding);
+  if constexpr (util::kCheckedBuild) check_input_grads(grads);
   return grads;
+}
+
+void Seq2SeqModel::check_input_grads(const InputGrads& grads) const {
+  // The FGSM/PGD/CW gradient path terminates here: a NaN or Inf that leaks
+  // into any input gradient silently corrupts every subsequent attack step.
+  RLATTACK_CHECK(util::all_finite(grads.action_history.data()),
+                 "Seq2SeqModel::backward: non-finite action-history gradient");
+  RLATTACK_CHECK(util::all_finite(grads.obs_history.data()),
+                 "Seq2SeqModel::backward: non-finite obs-history gradient");
+  RLATTACK_CHECK(util::all_finite(grads.current_obs.data()),
+                 "Seq2SeqModel::backward: non-finite current-obs gradient");
+  if (config_.use_attention) {
+    RLATTACK_CHECK(util::all_finite(attn_w_grad_.data()),
+                   "Seq2SeqModel::backward: non-finite attention-weight grad");
+  }
 }
 
 nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,

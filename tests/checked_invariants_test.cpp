@@ -1,0 +1,234 @@
+// Negative tests for the RLATTACK_CHECKED invariant layer: each case feeds
+// a deliberately broken input (shape mismatch, NaN, over-budget
+// perturbation, bounds escape) and asserts the matching diagnostic trips as
+// util::CheckFailure. Only registered with CTest when the tree is
+// configured with -DRLATTACK_CHECKED=ON — in release builds the checks are
+// compiled out and nothing here would throw.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rlattack/attack/attack.hpp"
+#include "rlattack/nn/dense.hpp"
+#include "rlattack/nn/sequential.hpp"
+#include "rlattack/seq2seq/model.hpp"
+#include "rlattack/util/check.hpp"
+#include "rlattack/util/rng.hpp"
+
+namespace rlattack {
+namespace {
+
+static_assert(util::kCheckedBuild,
+              "checked_invariants_test must be built with RLATTACK_CHECKED");
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+// ---------------------------------------------------------------- helpers
+
+/// Layer that forwards its input unchanged but misbehaves on demand: a
+/// wrong-shaped gradient out of backward, or a NaN injected into forward.
+class BrokenLayer final : public nn::Layer {
+ public:
+  enum class Mode { kWrongGradShape, kNanForward };
+  explicit BrokenLayer(Mode mode) : mode_(mode) {}
+
+  nn::Tensor forward(const nn::Tensor& input) override {
+    nn::Tensor out = input;
+    if (mode_ == Mode::kNanForward && !out.empty()) out[0] = kNaN;
+    return out;
+  }
+  nn::Tensor backward(const nn::Tensor& grad_output) override {
+    if (mode_ == Mode::kWrongGradShape)
+      return nn::Tensor({grad_output.size() + 1});
+    return grad_output;
+  }
+  std::string name() const override { return "BrokenLayer"; }
+
+ private:
+  Mode mode_;
+};
+
+seq2seq::Seq2SeqModel make_model() {
+  return seq2seq::Seq2SeqModel(seq2seq::make_cartpole_seq2seq_config(4, 2),
+                               /*seed=*/7);
+}
+
+attack::CraftInputs make_inputs() {
+  attack::CraftInputs inputs;
+  inputs.action_history = nn::Tensor({1, 4, 2});
+  inputs.obs_history = nn::Tensor({1, 4, 4});
+  inputs.current_obs = nn::Tensor({1, 4});
+  for (std::size_t t = 0; t < 4; ++t) inputs.action_history[t * 2] = 1.0f;
+  for (std::size_t i = 0; i < inputs.obs_history.size(); ++i)
+    inputs.obs_history[i] = 0.01f * static_cast<float>(i);
+  for (std::size_t i = 0; i < inputs.current_obs.size(); ++i)
+    inputs.current_obs[i] = 0.1f * static_cast<float>(i);
+  return inputs;
+}
+
+// ------------------------------------------------- shape-agreement checks
+
+TEST(CheckedInvariantsTest, SequentialBackwardRejectsMismatchedGradient) {
+  util::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 3, rng);
+  net.forward(nn::Tensor({2, 4}));
+  // Gradient shaped like the *input*, not the output: the chain-level shape
+  // check must trip before the layer sees it.
+  EXPECT_THROW(net.backward(nn::Tensor({2, 4})), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, SequentialCatchesLayerEmittingWrongGradShape) {
+  util::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 4, rng);
+  net.emplace<BrokenLayer>(BrokenLayer::Mode::kWrongGradShape);
+  net.forward(nn::Tensor({1, 4}));
+  EXPECT_THROW(net.backward(nn::Tensor({1, 4})), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, SequentialBackwardRejectsCallWithoutForward) {
+  util::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 3, rng);
+  EXPECT_THROW(net.backward(nn::Tensor({1, 3})), util::CheckFailure);
+}
+
+// ---------------------------------------------------------- NaN/Inf checks
+
+TEST(CheckedInvariantsTest, SequentialForwardRejectsNanInput) {
+  util::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 3, rng);
+  nn::Tensor poisoned({1, 4});
+  poisoned[2] = kNaN;
+  EXPECT_THROW(net.forward(poisoned), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, SequentialCatchesLayerProducingNan) {
+  util::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(4, 4, rng);
+  net.emplace<BrokenLayer>(BrokenLayer::Mode::kNanForward);
+  EXPECT_THROW(net.forward(nn::Tensor({1, 4})), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, Seq2SeqForwardRejectsNanObservation) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  inputs.current_obs[1] = kNaN;
+  EXPECT_THROW(
+      model.forward(inputs.action_history, inputs.obs_history,
+                    inputs.current_obs),
+      util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, Seq2SeqBackwardRejectsNanGradient) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    inputs.current_obs);
+  nn::Tensor grad(logits.shape());
+  grad[0] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(model.backward(grad), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, CleanSeq2SeqRoundTripDoesNotTrip) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    inputs.current_obs);
+  nn::Tensor grad(logits.shape());
+  grad.fill(0.25f);
+  EXPECT_NO_THROW(model.backward(grad));
+}
+
+// ------------------------------------------------------ attack budget checks
+
+TEST(CheckedInvariantsTest, OverBudgetPerturbationTrips) {
+  const nn::Tensor original({1, 4});
+  nn::Tensor perturbed = original;
+  perturbed[0] = 3.0f;  // L2 distance 3 against an epsilon of 0.5
+  attack::Budget budget;  // L2, epsilon 0.5
+  EXPECT_THROW(
+      attack::check_perturbation(original, perturbed, budget,
+                                 {-10.0f, 10.0f}, "rogue"),
+      util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, LinfBudgetViolationTrips) {
+  const nn::Tensor original({1, 4});
+  nn::Tensor perturbed = original;
+  perturbed[3] = 0.2f;
+  attack::Budget budget;
+  budget.norm = attack::Budget::Norm::kLinf;
+  budget.epsilon = 0.1f;
+  EXPECT_THROW(
+      attack::check_perturbation(original, perturbed, budget,
+                                 {-10.0f, 10.0f}, "rogue"),
+      util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, BoundsEscapeTrips) {
+  const nn::Tensor original({1, 4});
+  nn::Tensor perturbed = original;
+  perturbed[1] = 2.0f;  // outside [-1, 1] though within the L2 budget below
+  attack::Budget budget;
+  budget.epsilon = 5.0f;
+  EXPECT_THROW(
+      attack::check_perturbation(original, perturbed, budget, {-1.0f, 1.0f},
+                                 "rogue"),
+      util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, BuiltInAttacksPassTheirOwnAudit) {
+  // Every built-in attack self-checks through check_perturbation in checked
+  // builds; a clean run is the "no false positives" half of the contract.
+  auto model = make_model();
+  auto inputs = make_inputs();
+  attack::Goal goal;
+  attack::Budget budget;
+  util::Rng rng(3);
+  for (const attack::Kind kind :
+       {attack::Kind::kGaussian, attack::Kind::kFgsm, attack::Kind::kPgd,
+        attack::Kind::kCw, attack::Kind::kJsma}) {
+    auto attacker = attack::make_attack(kind);
+    EXPECT_NO_THROW(attacker->perturb(model, inputs, goal, budget,
+                                      {-5.0f, 5.0f}, rng))
+        << attack::attack_name(kind);
+  }
+}
+
+// --------------------------------------------------------- RNG stream hash
+
+TEST(CheckedInvariantsTest, RngStreamHashIsPureFunctionOfSeed) {
+  EXPECT_EQ(util::hash_rng_stream(42, 32), util::hash_rng_stream(42, 32));
+  EXPECT_NE(util::hash_rng_stream(42, 32), util::hash_rng_stream(43, 32));
+  EXPECT_NE(util::hash_rng_stream(42, 32), util::hash_rng_stream(42, 33));
+}
+
+TEST(CheckedInvariantsTest, FloatHashIsOrderAndBitSensitive) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{1.0f, 3.0f, 2.0f};
+  std::vector<float> c = a;
+  c[2] = std::nextafter(c[2], 4.0f);
+  EXPECT_EQ(util::hash_floats(a), util::hash_floats(a));
+  EXPECT_NE(util::hash_floats(a), util::hash_floats(b));
+  EXPECT_NE(util::hash_floats(a), util::hash_floats(c));
+}
+
+TEST(CheckedInvariantsTest, CheckFailureCarriesFileAndLine) {
+  try {
+    util::check_failed("somefile.cpp", 123, "boom");
+    FAIL() << "check_failed must throw";
+  } catch (const util::CheckFailure& e) {
+    EXPECT_STREQ(e.file(), "somefile.cpp");
+    EXPECT_EQ(e.line(), 123);
+    EXPECT_NE(std::string(e.what()).find("somefile.cpp:123: boom"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rlattack

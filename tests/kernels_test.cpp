@@ -181,8 +181,8 @@ TEST(ThreadPool, PropagatesExceptions) {
   util::ThreadPool pool(4);
   EXPECT_THROW(
       pool.parallel_for(100, 1,
-                        [](std::size_t b, std::size_t) {
-                          if (b >= 0) throw std::runtime_error("boom");
+                        [](std::size_t, std::size_t) {
+                          throw std::runtime_error("boom");
                         }),
       std::runtime_error);
   // The pool must remain usable afterwards.
@@ -236,7 +236,9 @@ TEST(ThreadPool, EpisodeFanOutNestsGemmWithoutDeadlockOrDrift) {
   // With >1 pool threads every chunk must see the inside-worker flag; a
   // serial pool runs chunks inline without it (and nesting is trivially
   // safe there).
-  if (pool.size() > 1) EXPECT_EQ(flagged.load(), static_cast<int>(workers));
+  if (pool.size() > 1) {
+    EXPECT_EQ(flagged.load(), static_cast<int>(workers));
+  }
   EXPECT_FALSE(util::ThreadPool::inside_worker());
   for (std::size_t w = 0; w < workers; ++w) {
     ASSERT_EQ(results[w].size(), expected.size());
