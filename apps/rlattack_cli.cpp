@@ -24,6 +24,7 @@
 #include "rlattack/env/factory.hpp"
 #include "rlattack/env/trace_io.hpp"
 #include "rlattack/nn/serialize.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/trainer.hpp"
 #include "rlattack/seq2seq/trainer.hpp"
@@ -39,6 +40,8 @@ int usage(const std::string& program) {
       << "usage: " << program
       << " <train|eval|observe|approximate|attack|timebomb|table1> "
          "[--options]\n"
+         "global: --metrics-out <path> writes telemetry (METRICS JSON) at "
+         "exit.\n"
          "run with a subcommand and no options to see its defaults in use;\n"
          "see the header of apps/rlattack_cli.cpp for full examples.\n";
   return 2;
@@ -280,6 +283,9 @@ int cmd_timebomb(const util::CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     util::CliArgs args(argc, argv);
+    obs::set_export_binary("rlattack_cli");
+    if (args.has("metrics-out"))
+      obs::set_export_path(args.get("metrics-out", ""));
     if (args.command() == "train") return cmd_train(args);
     if (args.command() == "eval") return cmd_eval(args);
     if (args.command() == "observe") return cmd_observe(args);

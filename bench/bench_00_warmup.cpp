@@ -4,7 +4,8 @@
 // checkpoint cache. Safe to re-run: cached artefacts load in seconds.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_00_warmup");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

@@ -6,7 +6,8 @@
 #include "rlattack/core/pipeline.hpp"
 #include "rlattack/util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_attack_frequency");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kCartPole;

@@ -6,7 +6,8 @@
 #include "bench_common.hpp"
 #include "rlattack/seq2seq/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_attention");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kCartPole;

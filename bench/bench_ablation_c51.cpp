@@ -12,7 +12,8 @@
 #include "rlattack/rl/trainer.hpp"
 #include "rlattack/util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_c51");
   using namespace rlattack;
   const double scale = core::bench_scale_from_env();
   util::TableWriter table(

@@ -8,7 +8,8 @@
 #include "bench_common.hpp"
 #include "rlattack/core/pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_cw");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kCartPole;

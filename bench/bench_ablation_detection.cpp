@@ -9,7 +9,8 @@
 #include "rlattack/core/pipeline.hpp"
 #include "rlattack/rl/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_detection");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kCartPole;

@@ -6,7 +6,8 @@
 #include "bench_common.hpp"
 #include "rlattack/core/pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_ablation_pgd_steps");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kCartPole;

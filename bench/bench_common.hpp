@@ -9,9 +9,23 @@
 
 #include "rlattack/core/experiments.hpp"
 #include "rlattack/core/zoo.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/table.hpp"
 
 namespace rlattack::bench {
+
+/// Wires --metrics-out <path> (or the RLATTACK_METRICS_OUT env var, handled
+/// by the registry itself) to the process-exit METRICS export and stamps the
+/// binary name into the JSON. Call first thing in every bench main.
+inline void init_metrics(int argc, char** argv, const std::string& binary) {
+  obs::set_export_binary(binary);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out") {
+      obs::set_export_path(argv[i + 1]);
+      return;
+    }
+  }
+}
 
 /// Builds the shared Zoo. All bench binaries use the same cache directory,
 /// so victims/approximators are trained once by whichever bench runs first

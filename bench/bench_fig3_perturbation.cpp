@@ -8,7 +8,8 @@
 #include "rlattack/util/image.hpp"
 #include "rlattack/util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig3_perturbation");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
   const env::Game game = env::Game::kMiniPong;

@@ -3,7 +3,8 @@
 // noise, FGSM and PGD; error bars from repeated runs.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig4_cartpole_reward");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

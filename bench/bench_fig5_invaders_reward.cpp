@@ -3,7 +3,8 @@
 // (m = 10, random future position) variants.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig5_invaders_reward");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

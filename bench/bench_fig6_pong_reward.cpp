@@ -2,7 +2,8 @@
 // action-prediction and action-sequence variants.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig6_pong_reward");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

@@ -4,7 +4,8 @@
 // reward damage (Figs 4-6) is comparable.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig7_transferability");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

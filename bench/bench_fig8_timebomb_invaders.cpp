@@ -5,7 +5,8 @@
 // claim: at eps >= 0.7 success exceeds 70% across the board.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig8_timebomb_invaders");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

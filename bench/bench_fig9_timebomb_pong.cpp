@@ -2,7 +2,8 @@
 // paper finds Pong harder to sabotage than Space Invaders.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_fig9_timebomb_pong");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

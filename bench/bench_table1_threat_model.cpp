@@ -3,7 +3,8 @@
 // black-box row.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_table1_threat_model");
   using namespace rlattack;
   util::TableWriter table = core::threat_model_table();
   bench::emit(table, "table1_threat_model",

@@ -15,7 +15,8 @@ std::string head_description(rlattack::env::Game game, bool obs_head) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rlattack::bench::init_metrics(argc, argv, "bench_table2_seq2seq_accuracy");
   using namespace rlattack;
   core::Zoo zoo = bench::make_zoo();
 

@@ -8,10 +8,15 @@
 #                           RLATTACK_BENCH_COMPARE=1 re-runs each binary.
 #   BENCH_experiments.json  the per-experiment "[timing]" lines the driver
 #                           binaries emit, as a JSON baseline.
+#   METRICS.json            telemetry export (counters/histograms/spans) of
+#                           every binary's primary run, as a JSON array of
+#                           the per-binary objects from metrics-out/.
 cd /root/repo
 export RLATTACK_BENCH_SCALE=${RLATTACK_BENCH_SCALE:-0.5}
 : > bench_output.txt
 echo "bench,wall_seconds,serial_wall_seconds" > bench_times.csv
+rm -rf metrics-out
+mkdir -p metrics-out
 
 run_one() {
   echo "=== RUNNING $1 ===" >> bench_output.txt
@@ -25,13 +30,30 @@ run_one() {
 
 for b in build/bench/*; do
   { [ -f "$b" ] && [ -x "$b" ]; } || continue
-  wall=$(run_one "$b")
+  # The primary run exports its telemetry at exit; comparison re-runs below
+  # deliberately do not, so each binary contributes exactly one object.
+  wall=$(RLATTACK_METRICS_OUT="metrics-out/$(basename "$b").json" \
+         run_one "$b")
   serial=""
   if [ "${RLATTACK_BENCH_COMPARE:-0}" = "1" ]; then
     serial=$(RLATTACK_EXPERIMENT_THREADS=1 run_one "$b")
   fi
   echo "$(basename "$b"),$wall,$serial" >> bench_times.csv
 done
+
+# Assemble the per-binary telemetry objects into one METRICS.json array,
+# in binary-name order (each object is already valid self-contained JSON).
+{
+  echo "["
+  _first=1
+  for m in metrics-out/*.json; do
+    [ -f "$m" ] || continue
+    [ "$_first" = 1 ] || echo ","
+    _first=0
+    cat "$m"
+  done
+  echo "]"
+} > METRICS.json
 
 # Collect the drivers' per-experiment timing lines into a JSON baseline.
 awk 'BEGIN { print "["; first = 1 }

@@ -17,6 +17,9 @@
 #            including the checked_invariants_test negative suite
 #   tidy     run-clang-tidy over src/ with the repo .clang-tidy; SKIPPED
 #            (not failed) when clang-tidy is not on PATH
+#   metrics  default build + one short instrumented experiment with
+#            RLATTACK_METRICS_OUT set; validates the exported METRICS JSON
+#            parses and carries the expected kernel/attack/span keys
 #
 # Exit status: non-zero if any selected config fails. A skipped tidy step
 # (missing tool) does not fail the run; CHECKS.json records it as "skipped"
@@ -26,7 +29,7 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics)
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=("${ALL_CONFIGS[@]}")
@@ -35,7 +38,7 @@ fi
 # TSan runs the suites that exercise the thread pool and the episode-parallel
 # reduction; the remaining tests are single-threaded re-runs of the same code
 # ASan/UBSan already cover, and TSan's ~10x slowdown makes them poor value.
-TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel'
+TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel|Metrics'
 
 LOG_DIR="checks-logs"
 mkdir -p "${LOG_DIR}"
@@ -62,6 +65,42 @@ run_ctest() {
   local dir="$1" log="$2"
   shift 2
   (cd "${dir}" && run_logged "../${log}" ctest --output-on-failure -j "${JOBS}" "$@")
+}
+
+validate_metrics_json() {
+  # validate_metrics_json <file>: the export must parse as JSON and carry
+  # the keys the paper-facing drivers report on (kernel flops, attack
+  # queries, per-phase spans).
+  local json="$1"
+  [ -s "${json}" ] || { echo "metrics export ${json} missing/empty"; return 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for section, key in [
+    ("counters", "nn.gemm.flops"),
+    ("counters", "nn.gemm.calls"),
+    ("counters", "attack.queries.gradient"),
+    ("counters", "pipeline.steps"),
+    ("spans", "seq2seq.forward"),
+    ("spans", "phase.perturb"),
+]:
+    if key not in doc.get(section, {}):
+        sys.exit(f"METRICS export missing {section}/{key}")
+if doc["counters"]["nn.gemm.flops"] <= 0:
+    sys.exit("nn.gemm.flops is zero in an instrumented run")
+print("METRICS export validated:", len(doc["counters"]), "counters,",
+      len(doc["spans"]), "spans")
+EOF
+  else
+    # Fallback: key-presence grep when python3 is unavailable.
+    local key
+    for key in nn.gemm.flops attack.queries.gradient pipeline.steps \
+               seq2seq.forward phase.perturb; do
+      grep -q "\"${key}\"" "${json}" || {
+        echo "METRICS export missing ${key}"; return 1; }
+    done
+  fi
 }
 
 run_config() {
@@ -142,6 +181,23 @@ run_config() {
         fi
       fi
       DETAIL[${name}]="clang-tidy over src/ (.clang-tidy, WarningsAsErrors=*)"
+      ;;
+    metrics)
+      # Short instrumented experiment: the parallel-experiments test binary
+      # trains a tiny zoo and runs attacked episodes end to end, so every
+      # instrumented subsystem (kernels, seq2seq, attacks, pipeline) fires.
+      configure_build metrics build "${log}" || rc=1
+      local metrics_json="${LOG_DIR}/metrics.json"
+      if [ ${rc} -eq 0 ]; then
+        rm -f "${metrics_json}"
+        RLATTACK_METRICS_OUT="${metrics_json}" RLATTACK_THREADS=4 \
+          run_logged "${log}" build/tests/experiments_parallel_test \
+          --gtest_filter='*MetricsInstrumentationObservesExperiment*' || rc=1
+      fi
+      if [ ${rc} -eq 0 ]; then
+        run_logged "${log}" validate_metrics_json "${metrics_json}" || rc=1
+      fi
+      DETAIL[${name}]="instrumented experiment + METRICS JSON key validation"
       ;;
     *)
       echo "run_checks.sh: unknown config '${name}'" >&2

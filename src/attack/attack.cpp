@@ -5,12 +5,34 @@
 #include <stdexcept>
 
 #include "rlattack/nn/loss.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::attack {
 
 namespace {
+
+// Pre-registered telemetry handles. "Queries" count victim/approximator model
+// evaluations — the blackbox cost axis of the paper — split into pure
+// forwards and gradient (forward+backward) queries. Clip counters record how
+// often projection actually modified the candidate.
+struct AttackMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& queries_forward = reg.counter("attack.queries.forward");
+  obs::Counter& queries_gradient = reg.counter("attack.queries.gradient");
+  obs::Counter& craft_gaussian = reg.counter("attack.craft.gaussian");
+  obs::Counter& craft_fgsm = reg.counter("attack.craft.fgsm");
+  obs::Counter& craft_pgd = reg.counter("attack.craft.pgd");
+  obs::Counter& craft_cw = reg.counter("attack.craft.cw");
+  obs::Counter& craft_jsma = reg.counter("attack.craft.jsma");
+  obs::Counter& pgd_iterations = reg.counter("attack.pgd.iterations");
+  obs::Counter& cw_iterations = reg.counter("attack.cw.iterations");
+  obs::Counter& jsma_rounds = reg.counter("attack.jsma.rounds");
+  obs::Counter& clip_budget = reg.counter("attack.clip.budget");
+  obs::Counter& clip_bounds = reg.counter("attack.clip.bounds");
+};
+AttackMetrics g_metrics;
 
 /// Scales `delta` so its norm equals `budget.epsilon` (no-op on a zero
 /// vector).
@@ -30,23 +52,33 @@ void scale_to_budget(nn::Tensor& delta, const Budget& budget) {
 /// clamps to the observation bounds.
 void project(nn::Tensor& candidate, const nn::Tensor& origin,
              const Budget& budget, env::ObservationBounds bounds) {
+  bool budget_clipped = false;
   if (budget.norm == Budget::Norm::kLinf) {
     for (std::size_t i = 0; i < candidate.size(); ++i) {
-      candidate[i] = std::clamp(candidate[i], origin[i] - budget.epsilon,
-                                origin[i] + budget.epsilon);
+      const float clamped = std::clamp(
+          candidate[i], origin[i] - budget.epsilon, origin[i] + budget.epsilon);
+      budget_clipped |= clamped != candidate[i];
+      candidate[i] = clamped;
     }
   } else {
     nn::Tensor delta = candidate;
     delta -= origin;
     const double norm = util::l2_norm(delta.data());
     if (norm > budget.epsilon && norm > 0.0) {
+      budget_clipped = true;
       delta *= static_cast<float>(budget.epsilon / norm);
       candidate = origin;
       candidate += delta;
     }
   }
-  for (float& x : candidate.data())
-    x = std::clamp(x, bounds.low, bounds.high);
+  bool bounds_clipped = false;
+  for (float& x : candidate.data()) {
+    const float clamped = std::clamp(x, bounds.low, bounds.high);
+    bounds_clipped |= clamped != x;
+    x = clamped;
+  }
+  if (budget_clipped) g_metrics.clip_budget.add();
+  if (bounds_clipped) g_metrics.clip_bounds.add();
 }
 
 /// Resolves the loss anchor once, on the *clean* input: the action whose
@@ -130,6 +162,7 @@ void check_perturbation(const nn::Tensor& original,
 
 std::vector<std::size_t> predict_actions(seq2seq::Seq2SeqModel& model,
                                          const CraftInputs& inputs) {
+  g_metrics.queries_forward.add();
   nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
                                     inputs.current_obs);
   const std::size_t m = logits.dim(1), a = logits.dim(2);
@@ -146,6 +179,7 @@ nn::Tensor current_obs_gradient(seq2seq::Seq2SeqModel& model,
                                 const CraftInputs& inputs,
                                 std::size_t position, std::size_t action,
                                 const nn::Tensor& current_obs) {
+  g_metrics.queries_gradient.add();
   nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
                                     current_obs);
   const std::size_t m = logits.dim(1);
@@ -168,6 +202,7 @@ nn::Tensor GaussianAttack::perturb(seq2seq::Seq2SeqModel& /*model*/,
                                    const Goal& /*goal*/, const Budget& budget,
                                    env::ObservationBounds bounds,
                                    util::Rng& rng) {
+  g_metrics.craft_gaussian.add();
   nn::Tensor delta(inputs.current_obs.shape());
   for (float& x : delta.data()) x = rng.normal_f(0.0f, 1.0f);
   scale_to_budget(delta, budget);
@@ -184,6 +219,7 @@ nn::Tensor FgsmAttack::perturb(seq2seq::Seq2SeqModel& model,
                                const Budget& budget,
                                env::ObservationBounds bounds,
                                util::Rng& /*rng*/) {
+  g_metrics.craft_fgsm.add();
   const Anchor anchor = resolve_anchor(model, inputs, goal);
   nn::Tensor grad =
       crafting_direction(model, inputs, goal, anchor, inputs.current_obs);
@@ -219,6 +255,8 @@ nn::Tensor PgdAttack::perturb(seq2seq::Seq2SeqModel& model,
                               const Budget& budget,
                               env::ObservationBounds bounds,
                               util::Rng& /*rng*/) {
+  g_metrics.craft_pgd.add();
+  g_metrics.pgd_iterations.add(steps_);
   const Anchor anchor = resolve_anchor(model, inputs, goal);
   nn::Tensor candidate = inputs.current_obs;
   const float step_size = step_fraction_ * budget.epsilon;
@@ -249,6 +287,7 @@ std::vector<float> position_logits(seq2seq::Seq2SeqModel& model,
                                    const CraftInputs& inputs,
                                    std::size_t position,
                                    const nn::Tensor& current_obs) {
+  g_metrics.queries_forward.add();
   nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
                                     current_obs);
   const std::size_t m = logits.dim(1), a = logits.dim(2);
@@ -262,6 +301,7 @@ nn::Tensor logit_diff_gradient(seq2seq::Seq2SeqModel& model,
                                const CraftInputs& inputs,
                                std::size_t position, std::size_t a,
                                std::size_t b, const nn::Tensor& current_obs) {
+  g_metrics.queries_gradient.add();
   nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
                                     current_obs);
   const std::size_t m = logits.dim(1), actions = logits.dim(2);
@@ -287,6 +327,7 @@ nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
                              const Budget& budget,
                              env::ObservationBounds bounds,
                              util::Rng& /*rng*/) {
+  g_metrics.craft_cw.add();
   // Anchor on the clean prediction (untargeted) or the requested target.
   const auto clean_pred = predict_actions(model, inputs);
   if (goal.position >= clean_pred.size())
@@ -297,6 +338,7 @@ nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
 
   nn::Tensor candidate = inputs.current_obs;
   for (std::size_t it = 0; it < iterations_; ++it) {
+    g_metrics.cw_iterations.add();
     const auto logits =
         position_logits(model, inputs, goal.position, candidate);
     // Best competing class to the anchor.
@@ -339,6 +381,7 @@ nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
                                const Budget& budget,
                                env::ObservationBounds bounds,
                                util::Rng& /*rng*/) {
+  g_metrics.craft_jsma.add();
   const auto clean_pred = predict_actions(model, inputs);
   if (goal.position >= clean_pred.size())
     throw std::logic_error("JsmaAttack: goal position beyond output sequence");
@@ -357,6 +400,7 @@ nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
   nn::Tensor candidate = inputs.current_obs;
   std::vector<bool> used(candidate.size(), false);
   for (std::size_t round = 0; round < features; ++round) {
+    g_metrics.jsma_rounds.add();
     const auto logits =
         position_logits(model, inputs, goal.position, candidate);
     std::size_t best_other = anchor == 0 ? (logits.size() > 1 ? 1 : 0) : 0;

@@ -1,8 +1,8 @@
 #include "rlattack/core/experiments.hpp"
 
 #include <algorithm>
-#include <chrono>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/log.hpp"
 #include "rlattack/util/stats.hpp"
 
@@ -10,16 +10,20 @@ namespace rlattack::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+// Driver-level wall timing is a telemetry span in always-measure mode: the
+// clock runs even with metrics disabled so ExperimentTiming (and hence
+// bench_times.csv) keeps reporting wall seconds, but the aggregate metric is
+// only recorded when telemetry is on.
+obs::Span experiment_span(const char* metric) {
+  return obs::Span(obs::MetricsRegistry::global().span(metric),
+                   /*always=*/true);
 }
 
-void finish_timing(ExperimentTiming* timing, Clock::time_point start,
+void finish_timing(ExperimentTiming* timing, obs::Span& span,
                    std::size_t threads, std::size_t episodes,
                    const char* name) {
-  const double wall = seconds_since(start);
+  span.stop();
+  const double wall = span.seconds();
   if (timing) {
     timing->wall_seconds = wall;
     timing->threads = threads;
@@ -34,7 +38,7 @@ void finish_timing(ExperimentTiming* timing, Clock::time_point start,
 std::vector<RewardPoint> run_reward_experiment(
     Zoo& zoo, const RewardExperimentConfig& config,
     ExperimentTiming* timing) {
-  const auto start = Clock::now();
+  obs::Span span = experiment_span("experiment.reward");
   rl::Agent& victim = zoo.victim(config.game, config.algorithm);
   const std::size_t m = config.sequence_variant ? 10 : 1;
   // The approximator is always trained from DQN traces (the paper trains
@@ -96,14 +100,14 @@ std::vector<RewardPoint> run_reward_experiment(
                    cells[c].budget, " -> reward ", point.mean_reward,
                    " +/- ", point.stddev_reward);
   }
-  finish_timing(timing, start, threads, jobs.size(), "reward experiment");
+  finish_timing(timing, span, threads, jobs.size(), "reward experiment");
   return points;
 }
 
 std::vector<TransferabilityPoint> run_transferability_experiment(
     Zoo& zoo, const TransferabilityConfig& config,
     ExperimentTiming* timing) {
-  const auto start = Clock::now();
+  obs::Span span = experiment_span("experiment.transferability");
   rl::Agent& victim = zoo.victim(config.game, config.algorithm);
   ApproximatorInfo approx =
       zoo.approximator(config.game, rl::Algorithm::kDqn, 1);
@@ -157,14 +161,14 @@ std::vector<TransferabilityPoint> run_transferability_experiment(
                    cells[c].budget, " -> rate ", point.transfer_rate, " (",
                    samples, " samples)");
   }
-  finish_timing(timing, start, threads, jobs.size(),
+  finish_timing(timing, span, threads, jobs.size(),
                 "transferability experiment");
   return points;
 }
 
 std::vector<TimeBombPoint> run_timebomb_experiment(
     Zoo& zoo, const TimeBombConfig& config, ExperimentTiming* timing) {
-  const auto start = Clock::now();
+  obs::Span span = experiment_span("experiment.timebomb");
   rl::Agent& victim = zoo.victim(config.game, config.victim_algorithm);
   // The approximator predicts the future-action sequence the delays index
   // into: m = max delay + 1, capped at the paper's Seq-model length of 10
@@ -253,7 +257,7 @@ std::vector<TimeBombPoint> run_timebomb_experiment(
                    config.epsilon_linf, " delay ", delay, " -> rate ",
                    point.success_rate, " (", trials, " trials)");
   }
-  finish_timing(timing, start, threads, jobs.size(), "timebomb experiment");
+  finish_timing(timing, span, threads, jobs.size(), "timebomb experiment");
   return points;
 }
 

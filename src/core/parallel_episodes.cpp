@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
@@ -24,6 +25,9 @@ namespace {
 EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
                            seq2seq::Seq2SeqModel& model,
                            const EpisodeJob& job) {
+  static obs::SpanStat& episode_span =
+      obs::MetricsRegistry::global().span("phase.episode");
+  obs::Span span(episode_span);
   // Attacks hold only immutable configuration (steps, coefficients), so a
   // fresh default-configured instance per job matches the shared instance
   // the serial drivers historically used.
@@ -60,6 +64,9 @@ std::vector<EpisodeOutcome> run_episode_jobs(
 
   const std::size_t workers =
       std::min(threads == 0 ? std::size_t{1} : threads, jobs.size());
+  obs::MetricsRegistry::global()
+      .gauge("experiment.workers")
+      .set(static_cast<double>(workers));
   if (workers <= 1) {
     // Historical serial path: original victim/model, no pool dispatch.
     for (std::size_t i = 0; i < jobs.size(); ++i)

@@ -3,10 +3,36 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::core {
+
+namespace {
+
+// Per-phase pipeline telemetry. Realised-norm histogram bounds cover the
+// epsilon range exercised by the Fig 4-6 sweeps (0.05 .. 8).
+struct PipelineMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& steps = reg.counter("pipeline.steps");
+  obs::Counter& episodes = reg.counter("pipeline.episodes");
+  obs::Counter& attacks = reg.counter("pipeline.attacks");
+  obs::SpanStat& perturb = reg.span("phase.perturb");
+  obs::SpanStat& victim_step = reg.span("phase.victim_step");
+  obs::SpanStat& env_step = reg.span("phase.env_step");
+  obs::SpanStat& approx_inference = reg.span("phase.approx_inference");
+  obs::Histogram& realised_l2 = reg.histogram(
+      "attack.realised_l2", {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0});
+  obs::Histogram& realised_linf = reg.histogram(
+      "attack.realised_linf", {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0});
+};
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 AttackSession::AttackSession(rl::Agent& victim, env::Game game,
                              seq2seq::Seq2SeqModel& model,
@@ -36,6 +62,8 @@ std::size_t AttackSession::output_steps() const {
 
 EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
                                           std::uint64_t episode_seed) {
+  PipelineMetrics& metrics = pipeline_metrics();
+  metrics.episodes.add();
   raw_env_->seed(episode_seed);
   util::Rng rng(episode_seed ^ 0x5bd1e995u);
   RolloutFifo fifo(model_.config().input_steps, frame_size_,
@@ -79,6 +107,7 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
         if (policy.runner_up_target) {
           // Aim at the runner-up action of the prediction at the position:
           // the easiest-to-reach wrong action.
+          obs::Span span(metrics.approx_inference);
           nn::Tensor logits = model_.forward(
               inputs.action_history, inputs.obs_history, inputs.current_obs);
           const std::size_t a = logits.dim(2);
@@ -98,8 +127,11 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
           goal.target_action = policy.target_action;
         }
       }
-      nn::Tensor perturbed_flat = attack_.perturb(model_, inputs, goal,
-                                                  budget_, bounds, rng);
+      nn::Tensor perturbed_flat = [&] {
+        obs::Span span(metrics.perturb);
+        return attack_.perturb(model_, inputs, goal, budget_, bounds, rng);
+      }();
+      metrics.attacks.add();
       if constexpr (util::kCheckedBuild) {
         // Trust boundary for *any* Attack implementation (including ones
         // built outside this repo): the sample delivered to the victim must
@@ -111,8 +143,12 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
       // Norm accounting on the realised (clamped) perturbation.
       nn::Tensor delta = perturbed_flat;
       delta -= inputs.current_obs;
-      l2_stats.add(util::l2_norm(delta.data()));
-      linf_stats.add(util::linf_norm(delta.data()));
+      const double l2 = util::l2_norm(delta.data());
+      const double linf = util::linf_norm(delta.data());
+      l2_stats.add(l2);
+      linf_stats.add(linf);
+      metrics.realised_l2.record(l2);
+      metrics.realised_linf.record(linf);
       // Victim's counterfactual action on the clean frame this step.
       clean_action = victim_.act(
           accumulator.peek_with(frame).reshaped(agent_obs_shape_), false);
@@ -126,15 +162,21 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
 
     if (policy.record_frames) outcome.delivered_frames.push_back(delivered);
     nn::Tensor stacked = accumulator.push(delivered);
-    const std::size_t action =
-        victim_.act(stacked.reshaped(agent_obs_shape_), false);
+    const std::size_t action = [&] {
+      obs::Span span(metrics.victim_step);
+      return victim_.act(stacked.reshaped(agent_obs_shape_), false);
+    }();
     if (attack_now && action != clean_action) ++outcome.immediate_flips;
 
     fifo.push(delivered.reshaped({frame_size_}), action);
     outcome.actions.push_back(action);
 
-    env::StepResult sr = raw_env_->step(action);
+    env::StepResult sr = [&] {
+      obs::Span span(metrics.env_step);
+      return raw_env_->step(action);
+    }();
     outcome.total_reward += sr.reward;
+    metrics.steps.add();
     ++outcome.steps;
     done = sr.done;
     frame = std::move(sr.observation);

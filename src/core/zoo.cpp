@@ -6,6 +6,7 @@
 
 #include "rlattack/core/parallel_episodes.hpp"
 #include "rlattack/nn/serialize.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/trainer.hpp"
 #include "rlattack/util/log.hpp"
@@ -57,6 +58,7 @@ rl::AgentPtr Zoo::build_agent(env::Game game, rl::Algorithm algorithm,
 
 void Zoo::train_victim(rl::Agent& agent, env::Game game,
                        rl::Algorithm algorithm) {
+  obs::Span span(obs::MetricsRegistry::global().span("zoo.train_victim"));
   rl::TrainConfig tc;
   tc.verbose = config_.verbose;
   switch (game) {
@@ -200,6 +202,8 @@ ApproximatorInfo Zoo::approximator(env::Game game, rl::Algorithm source,
   }
 
   // Train via Algorithm 1.
+  obs::Span span(
+      obs::MetricsRegistry::global().span("zoo.train_approximator"));
   const auto& data = episodes(game, source);
   const auto candidates = length_candidates(game);
   const seq2seq::TrainSettings settings = seq2seq_settings(game);

@@ -5,6 +5,10 @@
 
 #include "rlattack/nn/layer.hpp"
 
+namespace rlattack::obs {
+class SpanStat;
+}
+
 namespace rlattack::nn {
 
 /// Ordered chain of layers. forward runs layers first-to-last; backward runs
@@ -34,6 +38,11 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Per-layer telemetry spans (nn.forward.<LayerName> /
+  // nn.backward.<LayerName>), registered once in add(); all Sequential
+  // instances share the per-name aggregate in the global registry.
+  std::vector<obs::SpanStat*> forward_spans_;
+  std::vector<obs::SpanStat*> backward_spans_;
   // Checked-build bookkeeping (util::kCheckedBuild): per-layer input shapes
   // and the chain output shape recorded by forward, so backward can verify
   // the gradient contract (each layer's input gradient matches its forward

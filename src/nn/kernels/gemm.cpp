@@ -4,11 +4,27 @@
 #include <cstring>
 #include <vector>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::nn::kernels {
 
 namespace {
+
+// Pre-registered telemetry handles (one registry lookup at load, pointer
+// dereference + relaxed fetch_add per kernel call). Flops use the standard
+// 2*m*n*k / 2*n conventions.
+struct KernelMetrics {
+  obs::Counter& gemm_calls =
+      obs::MetricsRegistry::global().counter("nn.gemm.calls");
+  obs::Counter& gemm_flops =
+      obs::MetricsRegistry::global().counter("nn.gemm.flops");
+  obs::Counter& axpy_calls =
+      obs::MetricsRegistry::global().counter("nn.axpy.calls");
+  obs::Counter& axpy_flops =
+      obs::MetricsRegistry::global().counter("nn.axpy.flops");
+};
+KernelMetrics g_metrics;
 
 // Cache blocking: the packed B panel (kKC x kNC = 128 KiB) and A panel
 // (kMC x kKC = 64 KiB) both sit in L2; the micro-kernel accumulators
@@ -141,6 +157,10 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
            const float* a, std::size_t lda, const float* b, std::size_t ldb,
            float* c, std::size_t ldc, bool accumulate) {
   if (m == 0 || n == 0) return;
+  g_metrics.gemm_calls.add();
+  g_metrics.gemm_flops.add(2 * static_cast<std::uint64_t>(m) *
+                           static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(k));
   if (k == 0) {
     if (!accumulate)
       for (std::size_t i = 0; i < m; ++i)
@@ -156,6 +176,8 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
 }
 
 void axpy(std::size_t n, float alpha, const float* x, float* y) noexcept {
+  g_metrics.axpy_calls.add();
+  g_metrics.axpy_flops.add(2 * static_cast<std::uint64_t>(n));
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 

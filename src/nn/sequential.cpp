@@ -2,12 +2,19 @@
 
 #include <stdexcept>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 
 namespace rlattack::nn {
 
 Sequential& Sequential::add(LayerPtr layer) {
   if (!layer) throw std::logic_error("Sequential::add: null layer");
+  // Pre-register the per-layer telemetry spans so forward/backward never do
+  // a name lookup; metrics are shared per layer-class name across every
+  // Sequential instance.
+  auto& registry = obs::MetricsRegistry::global();
+  forward_spans_.push_back(&registry.span("nn.forward." + layer->name()));
+  backward_spans_.push_back(&registry.span("nn.backward." + layer->name()));
   layers_.push_back(std::move(layer));
   return *this;
 }
@@ -21,9 +28,13 @@ Tensor Sequential::forward(const Tensor& input) {
                        std::to_string(util::first_non_finite(x.data())) +
                        " of " + x.shape_string() + ")");
   }
-  for (auto& l : layers_) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto& l = layers_[i];
     if constexpr (util::kCheckedBuild) checked_input_shapes_.push_back(x.shape());
-    x = l->forward(x);
+    {
+      obs::Span span(*forward_spans_[i]);
+      x = l->forward(x);
+    }
     if constexpr (util::kCheckedBuild) {
       const std::size_t bad = util::first_non_finite(x.data());
       RLATTACK_CHECK(bad == static_cast<std::size_t>(-1),
@@ -52,7 +63,10 @@ Tensor Sequential::backward(const Tensor& grad_output) {
   }
   Tensor g = grad_output;
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i]->backward(g);
+    {
+      obs::Span span(*backward_spans_[i]);
+      g = layers_[i]->backward(g);
+    }
     if constexpr (util::kCheckedBuild) {
       RLATTACK_CHECK(g.shape() == checked_input_shapes_[i],
                      "Sequential::backward: layer " + layers_[i]->name() +

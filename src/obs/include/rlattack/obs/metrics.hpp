@@ -1,0 +1,239 @@
+// Telemetry layer: process-wide registry of named counters, gauges,
+// fixed-bucket histograms and span timers, plus JSON / text exporters.
+//
+// Design rules (the ROADMAP's observability step toward a production-scale
+// system):
+//  - Pre-registered handles. Instrumented code asks the registry for a
+//    metric ONCE (typically from a namespace-scope struct or a function-local
+//    static) and then holds a reference — the hot path never does a string
+//    lookup.
+//  - Lock-free atomics on the hot path. Counter::add and Gauge::set are a
+//    relaxed atomic op behind a single relaxed enabled-flag load; histograms
+//    and spans record into per-thread slots (indexed by
+//    util::ThreadPool::thread_index) guarded by an uncontended spinlock, and
+//    are merged only at export time via util::RunningStats::merge.
+//  - Near-zero overhead when disabled. RLATTACK_METRICS=off (or 0/false) at
+//    startup, or obs::set_metrics_enabled(false) at runtime, reduces every
+//    instrumentation site to one relaxed bool load; Span takes no clock
+//    readings.
+//  - Telemetry only observes. Nothing here feeds back into computation, so
+//    experiment rows stay bit-identical with metrics on or off at any
+//    thread count (proven by tests/experiments_parallel_test.cpp).
+//
+// Naming scheme (see DESIGN.md "Observability"): dotted lowercase
+// "subsystem.object.quantity" — e.g. nn.gemm.flops, attack.queries.gradient,
+// phase.perturb, experiment.reward. Per-layer spans append the layer class
+// name verbatim (nn.forward.Dense).
+//
+// Export: set RLATTACK_METRICS_OUT=<path> (read at registry construction)
+// or call set_export_path (the --metrics-out flag of the bench binaries and
+// rlattack_cli); a process-exit hook then writes one self-contained JSON
+// object. run_benches.sh collects the per-binary objects into METRICS.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rlattack/util/stats.hpp"
+#include "rlattack/util/table.hpp"
+
+namespace rlattack::obs {
+
+namespace detail {
+/// Process-wide enabled flag. Inline so Counter::add compiles to
+/// "load + branch + fetch_add" with no function call.
+inline std::atomic<bool> g_enabled{true};
+inline bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// True when instrumentation records (default; RLATTACK_METRICS=off/0/false
+/// disables at startup).
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic event count (calls, iterations, flops). Hot-path safe: one
+/// relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!detail::enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (worker counts, config knobs).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!detail::enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+namespace detail {
+/// Per-thread recording slot: a spinlock-guarded RunningStats (plus bucket
+/// counts for histograms). Threads map to slots via
+/// util::ThreadPool::thread_index() & (kSlots - 1); the lock is only ever
+/// contended when >kSlots live threads collide on one slot, so the hot path
+/// is one uncontended atomic exchange. Cache-line aligned so two workers
+/// never false-share.
+inline constexpr std::size_t kSlots = 32;
+
+struct alignas(64) StatSlot {
+  std::atomic_flag lock;  // C++20: default-initialized clear
+  util::RunningStats stats;
+  std::vector<std::uint64_t> buckets;  ///< histograms only; else empty
+};
+}  // namespace detail
+
+/// Summary of merged per-thread partials at a point in time.
+struct HistogramSnapshot {
+  util::RunningStats stats;
+  std::vector<double> bounds;          ///< ascending upper bucket bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (last = +inf)
+};
+
+/// Fixed-bucket histogram over double samples (perturbation norms, sizes).
+class Histogram {
+ public:
+  void record(double x) noexcept;
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  std::string name_;
+  std::vector<double> bounds_;
+  mutable std::vector<detail::StatSlot> slots_;
+};
+
+/// Duration accumulator for RAII Span timers (seconds). Same per-thread
+/// slot machinery as Histogram, without buckets.
+class SpanStat {
+ public:
+  /// Records one duration (Span calls this; tests may call it directly).
+  void record(double seconds) noexcept;
+  util::RunningStats snapshot() const;
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit SpanStat(std::string name);
+  std::string name_;
+  mutable std::vector<detail::StatSlot> slots_;
+};
+
+/// RAII wall-clock timer. Construction takes a clock reading only when
+/// metrics are enabled (or `always`); destruction records the elapsed
+/// seconds into the SpanStat. `always` spans measure even when metrics are
+/// disabled — the experiment drivers use this so ExperimentTiming /
+/// bench_times.csv keep their wall-clock regardless of RLATTACK_METRICS —
+/// but still only *record* the metric when enabled.
+class Span {
+ public:
+  explicit Span(SpanStat& stat, bool always = false) noexcept;
+  ~Span() { stop(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Elapsed seconds: running total while live, frozen at the stop value
+  /// once stopped, 0 when inert.
+  double seconds() const noexcept;
+
+  /// Records now instead of at scope exit; idempotent.
+  void stop() noexcept;
+
+ private:
+  SpanStat* stat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  double elapsed_s_ = 0.0;  ///< frozen duration after stop()
+};
+
+/// Thread-safe name -> metric registry. `global()` is the process-wide
+/// instance every instrumentation site registers with; local instances
+/// exist for tests (the exporter golden test) and embedders.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry. First use applies RLATTACK_METRICS and
+  /// RLATTACK_METRICS_OUT from the environment.
+  static MetricsRegistry& global();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Registering one name as two different metric types throws
+  /// std::logic_error; re-registering a histogram with different bounds
+  /// also throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  SpanStat& span(const std::string& name);
+
+  /// Zeroes every registered metric (registrations and handles survive).
+  void reset();
+
+  /// One self-contained JSON object (counters/gauges/histograms/spans),
+  /// deterministically ordered by metric name.
+  std::string to_json(const std::string& binary) const;
+
+  /// Writes to_json to `path`; false on I/O failure.
+  bool write_json(const std::string& path, const std::string& binary) const;
+
+  /// Text rendering through the existing util::table format.
+  util::TableWriter to_table() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanStat>> spans_;
+};
+
+/// Configures the process-exit METRICS export: on normal exit the global
+/// registry is written as JSON to `path` (empty disables). The bench
+/// binaries and rlattack_cli wire --metrics-out here; run_benches.sh /
+/// run_checks.sh use the RLATTACK_METRICS_OUT environment variable instead.
+void set_export_path(const std::string& path);
+std::string export_path();
+
+/// Binary name stamped into the exported JSON ("binary" key).
+void set_export_binary(const std::string& name);
+std::string export_binary();
+
+}  // namespace rlattack::obs

@@ -1,0 +1,426 @@
+#include "rlattack/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "rlattack/util/thread_pool.hpp"
+
+namespace rlattack::obs {
+
+namespace {
+
+/// Uncontended spinlock over a per-thread StatSlot: one atomic exchange to
+/// acquire. Contention requires more than kSlots live threads hashing onto
+/// the same slot, which the episode/thread-pool layer never produces.
+class SlotLock {
+ public:
+  explicit SlotLock(detail::StatSlot& slot) noexcept : slot_(slot) {
+    while (slot_.lock.test_and_set(std::memory_order_acquire)) {}
+  }
+  ~SlotLock() { slot_.lock.clear(std::memory_order_release); }
+  SlotLock(const SlotLock&) = delete;
+  SlotLock& operator=(const SlotLock&) = delete;
+
+ private:
+  detail::StatSlot& slot_;
+};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shortest round-trippable decimal; non-finite values (which telemetry
+/// never produces, but JSON cannot represent) degrade to 0.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shorter %.15g spelling when it round-trips (4 instead of
+  // 4.0000000000000000, 0.5 instead of 0.50000000000000000).
+  char short_buf[40];
+  std::snprintf(short_buf, sizeof short_buf, "%.15g", v);
+  if (std::strtod(short_buf, nullptr) == v) return short_buf;
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept { return detail::enabled(); }
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)),
+      slots_(detail::kSlots) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::logic_error("Histogram " + name_ + ": bounds not ascending");
+  for (auto& slot : slots_) slot.buckets.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) noexcept {
+  if (!detail::enabled()) return;
+  detail::StatSlot& slot =
+      slots_[util::ThreadPool::thread_index() & (detail::kSlots - 1)];
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  SlotLock lock(slot);
+  slot.stats.add(x);
+  ++slot.buckets[b];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (detail::StatSlot& slot : slots_) {
+    SlotLock lock(slot);
+    snap.stats.merge(slot.stats);
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+      snap.buckets[b] += slot.buckets[b];
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (detail::StatSlot& slot : slots_) {
+    SlotLock lock(slot);
+    slot.stats = util::RunningStats();
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+  }
+}
+
+// --- SpanStat / Span -------------------------------------------------------
+
+SpanStat::SpanStat(std::string name)
+    : name_(std::move(name)), slots_(detail::kSlots) {}
+
+void SpanStat::record(double seconds) noexcept {
+  if (!detail::enabled()) return;
+  detail::StatSlot& slot =
+      slots_[util::ThreadPool::thread_index() & (detail::kSlots - 1)];
+  SlotLock lock(slot);
+  slot.stats.add(seconds);
+}
+
+util::RunningStats SpanStat::snapshot() const {
+  util::RunningStats merged;
+  for (detail::StatSlot& slot : slots_) {
+    SlotLock lock(slot);
+    merged.merge(slot.stats);
+  }
+  return merged;
+}
+
+void SpanStat::reset() noexcept {
+  for (detail::StatSlot& slot : slots_) {
+    SlotLock lock(slot);
+    slot.stats = util::RunningStats();
+  }
+}
+
+Span::Span(SpanStat& stat, bool always) noexcept
+    : stat_((always || detail::enabled()) ? &stat : nullptr) {
+  if (stat_) start_ns_ = now_ns();
+}
+
+double Span::seconds() const noexcept {
+  if (!stat_) return elapsed_s_;
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+void Span::stop() noexcept {
+  if (!stat_) return;
+  elapsed_s_ = static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  // SpanStat::record re-checks the enabled flag, so an always-measuring
+  // span still skips the metric when telemetry is off.
+  stat_->record(elapsed_s_);
+  stat_ = nullptr;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+namespace {
+
+// Export state lives behind function-local leaked statics: registration can
+// happen during cross-TU static initialization (namespace-scope handle
+// structs call MetricsRegistry::global(), which applies RLATTACK_METRICS_OUT
+// immediately), so namespace-scope objects in this TU may not exist yet.
+// Leaking keeps them valid for the atexit hook and late static destructors.
+std::mutex& export_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::string& export_path_storage() {
+  static std::string* s = new std::string;
+  return *s;
+}
+
+std::string& export_binary_storage() {
+  static std::string* s = new std::string("rlattack");
+  return *s;
+}
+
+std::once_flag& export_hook_once() {
+  static std::once_flag* f = new std::once_flag;
+  return *f;
+}
+
+void export_at_exit() {
+  const std::string path = export_path();
+  if (path.empty()) return;
+  MetricsRegistry::global().write_json(path, export_binary());
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked singleton: handles held by instrumented code must stay valid
+  // through static destruction and the atexit export hook.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry;
+    if (const char* env = std::getenv("RLATTACK_METRICS")) {
+      std::string v(env);
+      std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+      });
+      if (v == "off" || v == "0" || v == "false") set_metrics_enabled(false);
+    }
+    if (const char* out = std::getenv("RLATTACK_METRICS_OUT"))
+      if (*out != '\0') set_export_path(out);
+    return r;
+  }();
+  return *registry;
+}
+
+namespace {
+
+/// Cross-type name collisions are registration bugs; diagnose immediately.
+void check_unclaimed(const std::string& name, bool claimed_elsewhere) {
+  if (claimed_elsewhere)
+    throw std::logic_error("MetricsRegistry: metric '" + name +
+                           "' already registered as a different type");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  check_unclaimed(name, gauges_.count(name) || histograms_.count(name) ||
+                            spans_.count(name));
+  auto& slot = counters_[name];
+  slot.reset(new Counter(name));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  check_unclaimed(name, counters_.count(name) || histograms_.count(name) ||
+                            spans_.count(name));
+  auto& slot = gauges_[name];
+  slot.reset(new Gauge(name));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds)
+      throw std::logic_error("MetricsRegistry: histogram '" + name +
+                             "' re-registered with different bounds");
+    return *it->second;
+  }
+  check_unclaimed(name, counters_.count(name) || gauges_.count(name) ||
+                            spans_.count(name));
+  auto& slot = histograms_[name];
+  slot.reset(new Histogram(name, std::move(bounds)));
+  return *slot;
+}
+
+SpanStat& MetricsRegistry::span(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spans_.find(name);
+  if (it != spans_.end()) return *it->second;
+  check_unclaimed(name, counters_.count(name) || gauges_.count(name) ||
+                            histograms_.count(name));
+  auto& slot = spans_[name];
+  slot.reset(new SpanStat(name));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : spans_) s->reset();
+}
+
+std::string MetricsRegistry::to_json(const std::string& binary) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"binary\": \"" << json_escape(binary) << "\",\n";
+
+  out << "  \"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+          << "\": " << c->value();
+      first = false;
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "},\n";
+
+  out << "  \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, g] : gauges_) {
+      out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+          << "\": " << fmt_double(g->value());
+      first = false;
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "},\n";
+
+  out << "  \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      const HistogramSnapshot snap = h->snapshot();
+      out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+          << "\": {\"count\": " << snap.stats.count()
+          << ", \"sum\": " << fmt_double(snap.stats.sum())
+          << ", \"mean\": " << fmt_double(snap.stats.mean())
+          << ", \"stddev\": " << fmt_double(snap.stats.stddev())
+          << ", \"min\": " << fmt_double(snap.stats.min())
+          << ", \"max\": " << fmt_double(snap.stats.max())
+          << ", \"buckets\": [";
+      for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+        if (b > 0) out << ", ";
+        out << "{\"le\": "
+            << (b < snap.bounds.size() ? fmt_double(snap.bounds[b]) : "null")
+            << ", \"count\": " << snap.buckets[b] << "}";
+      }
+      out << "]}";
+      first = false;
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "},\n";
+
+  out << "  \"spans\": {";
+  {
+    bool first = true;
+    for (const auto& [name, s] : spans_) {
+      const util::RunningStats stats = s->snapshot();
+      out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+          << "\": {\"count\": " << stats.count()
+          << ", \"total_s\": " << fmt_double(stats.sum())
+          << ", \"mean_s\": " << fmt_double(stats.mean())
+          << ", \"min_s\": " << fmt_double(stats.min())
+          << ", \"max_s\": " << fmt_double(stats.max()) << "}";
+      first = false;
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "}\n";
+
+  out << "}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path,
+                                 const std::string& binary) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json(binary);
+  return static_cast<bool>(out);
+}
+
+util::TableWriter MetricsRegistry::to_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::TableWriter table(
+      {"metric", "type", "count", "value", "mean", "min", "max"});
+  for (const auto& [name, c] : counters_)
+    table.add_row({name, "counter", std::to_string(c->value()), "", "", "",
+                   ""});
+  for (const auto& [name, g] : gauges_)
+    table.add_row({name, "gauge", "", util::fmt(g->value(), 4), "", "", ""});
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot snap = h->snapshot();
+    table.add_row({name, "histogram", std::to_string(snap.stats.count()),
+                   util::fmt(snap.stats.sum(), 4),
+                   util::fmt(snap.stats.mean(), 4),
+                   util::fmt(snap.stats.min(), 4),
+                   util::fmt(snap.stats.max(), 4)});
+  }
+  for (const auto& [name, s] : spans_) {
+    const util::RunningStats stats = s->snapshot();
+    table.add_row({name, "span", std::to_string(stats.count()),
+                   util::fmt(stats.sum(), 4), util::fmt(stats.mean(), 4),
+                   util::fmt(stats.min(), 4), util::fmt(stats.max(), 4)});
+  }
+  return table;
+}
+
+// --- export wiring ---------------------------------------------------------
+
+void set_export_path(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(export_mutex());
+    export_path_storage() = path;
+  }
+  if (!path.empty())
+    std::call_once(export_hook_once(), [] { std::atexit(export_at_exit); });
+}
+
+std::string export_path() {
+  std::lock_guard<std::mutex> lock(export_mutex());
+  return export_path_storage();
+}
+
+void set_export_binary(const std::string& name) {
+  std::lock_guard<std::mutex> lock(export_mutex());
+  export_binary_storage() = name;
+}
+
+std::string export_binary() {
+  std::lock_guard<std::mutex> lock(export_mutex());
+  return export_binary_storage();
+}
+
+}  // namespace rlattack::obs

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 
 #include "rlattack/nn/activations.hpp"
@@ -116,6 +117,9 @@ Seq2SeqModel::Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed)
 nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
                                  const nn::Tensor& obs_history,
                                  const nn::Tensor& current_obs) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span("seq2seq.forward");
+  rlattack::obs::Span span(span_stat);
   const std::size_t n = config_.input_steps;
   const std::size_t frame = config_.frame_size();
   if (action_history.rank() != 3 || action_history.dim(1) != n ||
@@ -159,6 +163,9 @@ nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
 }
 
 Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span("seq2seq.backward");
+  rlattack::obs::Span span(span_stat);
   const std::size_t m = config_.output_steps;
   const std::size_t e = config_.embed;
   if (grad_logits.rank() != 3 || grad_logits.dim(0) != cached_batch_ ||

@@ -1,8 +1,13 @@
 // Minimal leveled logger. Experiments are long-running; progress lines keep
 // the operator informed without a logging framework dependency.
+//
+// Thread-safe: the minimum level is an atomic, and emission composes the
+// full line before taking a single mutex-guarded write, so concurrent
+// episode workers never interleave characters. The startup level honours
+// the RLATTACK_LOG_LEVEL environment variable ("debug" | "info" | "warn" |
+// "error", or the matching integer 0-3).
 #pragma once
 
-#include <iostream>
 #include <sstream>
 #include <string_view>
 
@@ -11,9 +16,10 @@ namespace rlattack::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped. Defaults to
-/// kInfo. Not thread-safe to mutate concurrently with logging (experiments
-/// are single-threaded by design).
-LogLevel& log_level() noexcept;
+/// kInfo, overridable at startup via RLATTACK_LOG_LEVEL. Safe to read and
+/// change from any thread.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
 
 namespace detail {
 void emit(LogLevel level, std::string_view msg);

@@ -2,6 +2,7 @@
 // mean/variance (Welford), and vector norms used for perturbation budgets.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <span>
@@ -21,8 +22,30 @@ class RunningStats {
     if (x > max_ || n_ == 1) max_ = x;
   }
 
+  /// Folds another accumulator into this one (Chan et al.'s parallel
+  /// Welford combine): the result summarises the union of both sample
+  /// streams, including min/max. Used to combine per-thread telemetry
+  /// partials at export time (obs::Histogram / obs::SpanStat).
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * (static_cast<double>(n_) *
+                                        static_cast<double>(other.n_)) / n;
+    mean_ += delta * static_cast<double>(other.n_) / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
+  /// Sum of all samples (mean * count).
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const noexcept {
     return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);

@@ -69,6 +69,14 @@ class ThreadPool {
     return (n + grain - 1) / grain;
   }
 
+  /// Small dense per-thread index: the first thread that asks (normally the
+  /// main thread) gets 0, every subsequent distinct thread the next integer.
+  /// Stable for the thread's lifetime; independent of pool membership. The
+  /// telemetry layer (rlattack::obs) keys its per-thread recording slots on
+  /// this, which is why it lives here rather than on std::this_thread: pool
+  /// workers and the submitting thread all get compact indices.
+  static std::size_t thread_index() noexcept;
+
   /// True when the calling thread is currently executing a parallel_for
   /// chunk (a pool worker, or the submitting thread while it helps drain).
   /// Any parallel_for issued in this state runs caller-inline — the

@@ -1,10 +1,41 @@
 #include "rlattack/util/log.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
 namespace rlattack::util {
 
-LogLevel& log_level() noexcept {
-  static LogLevel level = LogLevel::kInfo;
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("RLATTACK_LOG_LEVEL");
+  if (!env || *env == '\0') return LogLevel::kInfo;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_storage() noexcept {
+  static std::atomic<LogLevel> level{level_from_env()};
   return level;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -16,8 +47,15 @@ void emit(LogLevel level, std::string_view msg) {
     case LogLevel::kWarn: tag = "WARN "; break;
     case LogLevel::kError: tag = "ERROR"; break;
   }
+  // Compose the whole line first, then write it under one lock: concurrent
+  // episode workers may log mid-experiment and lines must never interleave.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line.append("[").append(tag).append("] ").append(msg).append("\n");
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
   std::ostream& out = level >= LogLevel::kWarn ? std::cerr : std::clog;
-  out << "[" << tag << "] " << msg << '\n';
+  out << line;
 }
 }  // namespace detail
 

@@ -18,6 +18,11 @@ namespace {
 // re-entering the dispatch machinery (which would deadlock on the join).
 thread_local bool tls_inside_worker = false;
 
+// Dense per-thread index, assigned lazily on first ThreadPool::thread_index
+// call from each thread.
+std::atomic<std::size_t> g_next_thread_index{0};
+thread_local std::size_t tls_thread_index = static_cast<std::size_t>(-1);
+
 std::size_t resolve_thread_count() {
   if (const char* env = std::getenv("RLATTACK_THREADS")) {
     char* end = nullptr;
@@ -130,6 +135,13 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool() = default;
 
 bool ThreadPool::inside_worker() noexcept { return tls_inside_worker; }
+
+std::size_t ThreadPool::thread_index() noexcept {
+  if (tls_thread_index == static_cast<std::size_t>(-1))
+    tls_thread_index =
+        g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return tls_thread_index;
+}
 
 namespace {
 std::mutex g_global_mutex;

@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "rlattack/core/experiments.hpp"
+#include "rlattack/obs/metrics.hpp"
 
 namespace rlattack::core {
 namespace {
@@ -206,6 +207,83 @@ TEST_F(ExperimentsParallelTest, CloneContractHoldsForAgentsAndModel) {
   ASSERT_EQ(original_out.size(), clone_out.size());
   for (std::size_t i = 0; i < original_out.size(); ++i)
     ASSERT_EQ(original_out[i], clone_out[i]) << "logit " << i;
+}
+
+// Telemetry must only observe: result rows are bit-identical with metrics
+// enabled and disabled, at both experiment_threads settings. (Registered
+// under RLATTACK_THREADS=1 and =4 like the rest of this suite, so the
+// global-pool dimension is covered too.)
+TEST_F(ExperimentsParallelTest, MetricsOnOffRowsBitIdentical) {
+  const bool saved = obs::metrics_enabled();
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kFgsm, attack::Kind::kPgd};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 1000;
+
+  std::vector<std::vector<RewardPoint>> results;  // [on/off][threads 1/4]
+  for (bool enabled : {true, false}) {
+    obs::set_metrics_enabled(enabled);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      zoo.set_experiment_threads(threads);
+      results.push_back(run_reward_experiment(zoo, cfg, nullptr));
+    }
+  }
+  obs::set_metrics_enabled(saved);
+
+  const auto& reference = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].size(), reference.size()) << "variant " << v;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[v][i].attack, reference[i].attack)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].l2_budget, reference[i].l2_budget)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_reward, reference[i].mean_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].stddev_reward, reference[i].stddev_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_realised_l2, reference[i].mean_realised_l2)
+          << "variant " << v << " row " << i;
+    }
+  }
+}
+
+// The instrumentation that rode along with the experiment above actually
+// fired: crafting gradient queries and pipeline step counters are non-zero
+// after an attacked episode ran with metrics enabled.
+TEST_F(ExperimentsParallelTest, MetricsInstrumentationObservesExperiment) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& gradient_queries =
+      registry.counter("attack.queries.gradient");
+  obs::Counter& steps = registry.counter("pipeline.steps");
+  obs::Counter& gemm_flops = registry.counter("nn.gemm.flops");
+  const std::uint64_t gradient_before = gradient_queries.value();
+  const std::uint64_t steps_before = steps.value();
+  const std::uint64_t flops_before = gemm_flops.value();
+
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kFgsm};
+  cfg.l2_budgets = {0.5};
+  cfg.runs = 2;
+  cfg.seed = 1000;
+  zoo.set_experiment_threads(2);
+  (void)run_reward_experiment(zoo, cfg, nullptr);
+  obs::set_metrics_enabled(saved);
+
+  EXPECT_GT(gradient_queries.value(), gradient_before);
+  EXPECT_GT(steps.value(), steps_before);
+  EXPECT_GT(gemm_flops.value(), flops_before);
+  EXPECT_GT(registry.span("experiment.reward").snapshot().count(), 0u);
+  EXPECT_GT(registry.span("seq2seq.forward").snapshot().count(), 0u);
 }
 
 }  // namespace

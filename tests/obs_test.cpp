@@ -1,0 +1,315 @@
+// Telemetry subsystem contract: registry registration semantics, hot-path
+// counters/histograms/spans under the shared thread pool, the
+// RunningStats::merge combine the per-thread slots rely on, disabled-mode
+// inertness, and the deterministic JSON exporter. Suites are named
+// Metrics* so run_checks.sh's TSan filter picks up the concurrency cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "rlattack/obs/metrics.hpp"
+#include "rlattack/util/stats.hpp"
+#include "rlattack/util/thread_pool.hpp"
+
+namespace rlattack::obs {
+namespace {
+
+/// Restores the process-wide enabled flag on scope exit so tests that
+/// flip it cannot leak state into later tests.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(metrics_enabled()) {}
+  ~EnabledGuard() { set_metrics_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(MetricsStatsTest, MergeMatchesSerialAccumulation) {
+  util::RunningStats serial, left, right;
+  const double samples[] = {1.0, 4.0, -2.0, 8.5, 3.25, 0.5};
+  for (double x : samples) serial.add(x);
+  for (int i = 0; i < 3; ++i) left.add(samples[i]);
+  for (int i = 3; i < 6; ++i) right.add(samples[i]);
+
+  left.merge(right);
+  EXPECT_EQ(left.count(), serial.count());
+  EXPECT_DOUBLE_EQ(left.mean(), serial.mean());
+  EXPECT_NEAR(left.variance(), serial.variance(), 1e-12);
+  EXPECT_EQ(left.min(), serial.min());
+  EXPECT_EQ(left.max(), serial.max());
+  EXPECT_DOUBLE_EQ(left.sum(), serial.sum());
+}
+
+TEST(MetricsStatsTest, MergeWithEmptySidesIsIdentity) {
+  util::RunningStats stats, empty;
+  stats.add(2.0);
+  stats.add(6.0);
+
+  util::RunningStats copy = stats;
+  copy.merge(empty);  // merging in nothing changes nothing
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 4.0);
+
+  util::RunningStats from_empty;
+  from_empty.merge(stats);  // empty adopts the other side wholesale
+  EXPECT_EQ(from_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(from_empty.mean(), 4.0);
+  EXPECT_EQ(from_empty.min(), 2.0);
+  EXPECT_EQ(from_empty.max(), 6.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.calls");
+  Counter& b = registry.counter("x.calls");
+  EXPECT_EQ(&a, &b);
+  SpanStat& s1 = registry.span("x.time");
+  SpanStat& s2 = registry.span("x.time");
+  EXPECT_EQ(&s1, &s2);
+}
+
+TEST(MetricsRegistryTest, CrossTypeNameCollisionThrows) {
+  MetricsRegistry registry;
+  registry.counter("name");
+  EXPECT_THROW(registry.gauge("name"), std::logic_error);
+  EXPECT_THROW(registry.histogram("name", {1.0}), std::logic_error);
+  EXPECT_THROW(registry.span("name"), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, HistogramReboundsThrows) {
+  MetricsRegistry registry;
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), std::logic_error);
+  EXPECT_THROW(registry.histogram("bad", {2.0, 1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsHandles) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1.0});
+  SpanStat& s = registry.span("s");
+  c.add(5);
+  g.set(2.5);
+  h.record(0.5);
+  s.record(1.25);
+
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().stats.count(), 0u);
+  EXPECT_EQ(s.snapshot().count(), 0u);
+  // The handle from before the reset is still the registered metric.
+  EXPECT_EQ(&c, &registry.counter("c"));
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsFollowLeSemantics) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  h.record(0.5);  // le 1
+  h.record(1.0);  // le 1 (closed upper bound)
+  h.record(1.5);  // le 2
+  h.record(9.0);  // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.stats.count(), 4u);
+  EXPECT_EQ(snap.stats.min(), 0.5);
+  EXPECT_EQ(snap.stats.max(), 9.0);
+}
+
+TEST(MetricsSpanTest, NestedSpansAggregateIndependently) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  SpanStat& outer_stat = registry.span("outer");
+  SpanStat& inner_stat = registry.span("inner");
+  {
+    Span outer(outer_stat);
+    for (int i = 0; i < 3; ++i) {
+      Span inner(inner_stat);
+    }
+  }
+  const util::RunningStats outer_snap = outer_stat.snapshot();
+  const util::RunningStats inner_snap = inner_stat.snapshot();
+  EXPECT_EQ(outer_snap.count(), 1u);
+  EXPECT_EQ(inner_snap.count(), 3u);
+  // The outer span wholly contains the inner ones.
+  EXPECT_GE(outer_snap.sum(), inner_snap.sum());
+}
+
+TEST(MetricsSpanTest, StopFreezesSecondsAndIsIdempotent) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  SpanStat& stat = registry.span("s");
+  Span span(stat);
+  span.stop();
+  const double frozen = span.seconds();
+  EXPECT_GT(frozen, 0.0);
+  span.stop();  // second stop must not record again
+  EXPECT_EQ(span.seconds(), frozen);
+  EXPECT_EQ(stat.snapshot().count(), 1u);
+}
+
+TEST(MetricsDisabledTest, HotPathsRecordNothingWhenDisabled) {
+  EnabledGuard guard;
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1.0});
+  SpanStat& s = registry.span("s");
+
+  set_metrics_enabled(false);
+  c.add(7);
+  g.set(3.0);
+  h.record(0.5);
+  {
+    Span span(s);
+    EXPECT_EQ(span.seconds(), 0.0);  // inert: no clock reading taken
+  }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().stats.count(), 0u);
+  EXPECT_EQ(s.snapshot().count(), 0u);
+}
+
+TEST(MetricsDisabledTest, AlwaysSpanMeasuresButDoesNotRecord) {
+  EnabledGuard guard;
+  MetricsRegistry registry;
+  SpanStat& s = registry.span("s");
+  set_metrics_enabled(false);
+  Span span(s, /*always=*/true);
+  span.stop();
+  // The wall-clock measurement survives (ExperimentTiming depends on it)...
+  EXPECT_GT(span.seconds(), 0.0);
+  // ...but the aggregate metric was not touched.
+  EXPECT_EQ(s.snapshot().count(), 0u);
+}
+
+// Concurrency contract: totals must be exact (no lost updates) when many
+// pool workers hammer the same handles. Registered with the TSan suite via
+// the Metrics name filter in run_checks.sh.
+TEST(MetricsConcurrencyTest, CountersAndSlotsAreExactUnderThreadPool) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Histogram& histogram = registry.histogram("h", {0.25, 0.5, 0.75});
+  SpanStat& span_stat = registry.span("s");
+
+  constexpr std::size_t kItems = 10000;
+  util::ThreadPool::reset_global(4);
+  util::ThreadPool::global().parallel_for(
+      kItems, /*grain=*/64, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          counter.add();
+          histogram.record(static_cast<double>(i % 100) / 100.0);
+          Span span(span_stat);
+        }
+      });
+
+  EXPECT_EQ(counter.value(), kItems);
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.stats.count(), kItems);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kItems);
+  EXPECT_EQ(span_stat.snapshot().count(), kItems);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationYieldsOneHandle) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  std::atomic<Counter*> first{nullptr};
+  util::ThreadPool::reset_global(4);
+  util::ThreadPool::global().parallel_for(
+      64, /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Counter& c = registry.counter("shared.name");
+          Counter* expected = nullptr;
+          first.compare_exchange_strong(expected, &c);
+          EXPECT_EQ(first.load(), &c);
+          c.add();
+        }
+      });
+  EXPECT_EQ(registry.counter("shared.name").value(), 64u);
+}
+
+// Exporter golden test on a local registry with exactly-representable
+// doubles, so the byte-for-byte comparison is platform-independent.
+TEST(MetricsJsonTest, ExportsDeterministicGoldenJson) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  registry.counter("b.calls").add(3);
+  registry.counter("a.calls").add(41);
+  registry.gauge("workers").set(4.0);
+  Histogram& h = registry.histogram("norms", {3.0, 5.0});
+  h.record(2.0);
+  h.record(4.0);
+  h.record(6.0);  // mean 4, stddev 2, buckets 1/1/1
+  SpanStat& s = registry.span("phase");
+  s.record(0.25);
+  s.record(0.75);  // total 1, mean 0.5
+
+  const std::string expected =
+      "{\n"
+      "  \"binary\": \"golden\",\n"
+      "  \"counters\": {\n"
+      "    \"a.calls\": 41,\n"
+      "    \"b.calls\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"workers\": 4\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"norms\": {\"count\": 3, \"sum\": 12, \"mean\": 4, "
+      "\"stddev\": 2, \"min\": 2, \"max\": 6, \"buckets\": "
+      "[{\"le\": 3, \"count\": 1}, {\"le\": 5, \"count\": 1}, "
+      "{\"le\": null, \"count\": 1}]}\n"
+      "  },\n"
+      "  \"spans\": {\n"
+      "    \"phase\": {\"count\": 2, \"total_s\": 1, \"mean_s\": 0.5, "
+      "\"min_s\": 0.25, \"max_s\": 0.75}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json("golden"), expected);
+}
+
+TEST(MetricsJsonTest, EmptyRegistryStillProducesValidShape) {
+  MetricsRegistry registry;
+  const std::string json = registry.to_json("empty");
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": {}"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, TableRenderingListsEveryMetric) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  registry.counter("c").add(2);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {1.0}).record(0.5);
+  registry.span("s").record(0.25);
+  const std::string table = registry.to_table().to_string();
+  for (const char* name : {"c", "g", "h", "s"})
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlattack::obs
