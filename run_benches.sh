@@ -11,6 +11,9 @@
 #   METRICS.json            telemetry export (counters/histograms/spans) of
 #                           every binary's primary run, as a JSON array of
 #                           the per-binary objects from metrics-out/.
+#   BENCH_craft.json        craft-latency baseline written by
+#                           bench_micro_seq2seq: cached vs uncached history
+#                           encoding across input_steps / PGD-step sweeps.
 cd /root/repo
 export RLATTACK_BENCH_SCALE=${RLATTACK_BENCH_SCALE:-0.5}
 : > bench_output.txt

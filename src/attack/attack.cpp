@@ -1,7 +1,9 @@
 #include "rlattack/attack/attack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "rlattack/nn/loss.hpp"
@@ -31,8 +33,22 @@ struct AttackMetrics {
   obs::Counter& jsma_rounds = reg.counter("attack.jsma.rounds");
   obs::Counter& clip_budget = reg.counter("attack.clip.budget");
   obs::Counter& clip_bounds = reg.counter("attack.clip.bounds");
+  /// Model queries answered from an already-built history encoding — the
+  /// work the craft cache saved (each one skipped both n-step history
+  /// stacks).
+  obs::Counter& encode_reuse = reg.counter("attack.encode.reuse");
 };
 AttackMetrics g_metrics;
+
+std::atomic<bool>& craft_cache_flag() {
+  // Default on; RLATTACK_CRAFT_CACHE=0 starts the process with the cache
+  // off (tests flip it per run via set_craft_cache_enabled instead).
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("RLATTACK_CRAFT_CACHE");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
 
 /// Scales `delta` so its norm equals `budget.epsilon` (no-op on a zero
 /// vector).
@@ -91,14 +107,13 @@ struct Anchor {
   float sign = 1.0f;  ///< +1 ascend (untargeted), -1 descend (targeted)
 };
 
-Anchor resolve_anchor(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                      const Goal& goal) {
+Anchor resolve_anchor(CraftContext& ctx, const Goal& goal) {
   Anchor anchor;
   if (goal.mode == Goal::Mode::kTargeted) {
     anchor.action = goal.target_action;
     anchor.sign = -1.0f;
   } else {
-    const auto predicted = predict_actions(model, inputs);
+    const auto predicted = ctx.predict_actions();
     if (goal.position >= predicted.size())
       throw std::logic_error("Attack: goal position beyond output sequence");
     anchor.action = predicted[goal.position];
@@ -108,17 +123,117 @@ Anchor resolve_anchor(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
 }
 
 /// Signed gradient step direction at `current_obs` for a fixed anchor.
-nn::Tensor crafting_direction(seq2seq::Seq2SeqModel& model,
-                              const CraftInputs& inputs, const Goal& goal,
+nn::Tensor crafting_direction(CraftContext& ctx, const Goal& goal,
                               const Anchor& anchor,
                               const nn::Tensor& current_obs) {
-  nn::Tensor grad = current_obs_gradient(model, inputs, goal.position,
-                                         anchor.action, current_obs);
+  nn::Tensor grad =
+      ctx.current_obs_gradient(goal.position, anchor.action, current_obs);
   grad *= anchor.sign;
   return grad;
 }
 
 }  // namespace
+
+bool craft_cache_enabled() noexcept {
+  return craft_cache_flag().load(std::memory_order_relaxed);
+}
+
+void set_craft_cache_enabled(bool enabled) noexcept {
+  craft_cache_flag().store(enabled, std::memory_order_relaxed);
+}
+
+CraftContext::CraftContext(seq2seq::Seq2SeqModel& model,
+                           const CraftInputs& inputs)
+    : model_(model), inputs_(inputs), use_cache_(craft_cache_enabled()) {}
+
+nn::Tensor CraftContext::cached_logits(const nn::Tensor& current_obs) {
+  if (!encoded_) {
+    encoding_ =
+        model_.encode_history(inputs_.action_history, inputs_.obs_history);
+    encoded_ = true;
+  } else {
+    g_metrics.encode_reuse.add();
+  }
+  return model_.forward_cached(encoding_, current_obs);
+}
+
+std::vector<std::size_t> CraftContext::predict_actions() {
+  if (!use_cache_) return attack::predict_actions(model_, inputs_);
+  g_metrics.queries_forward.add();
+  nn::Tensor logits = cached_logits(inputs_.current_obs);
+  const std::size_t m = logits.dim(1), a = logits.dim(2);
+  std::vector<std::size_t> actions(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto row = logits.data().subspan(j * a, a);
+    actions[j] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return actions;
+}
+
+std::vector<float> CraftContext::position_logits(
+    std::size_t position, const nn::Tensor& current_obs) {
+  if (!use_cache_)
+    return attack::position_logits(model_, inputs_, position, current_obs);
+  g_metrics.queries_forward.add();
+  nn::Tensor logits = cached_logits(current_obs);
+  const std::size_t m = logits.dim(1), a = logits.dim(2);
+  if (position >= m)
+    throw std::logic_error("position_logits: position out of range");
+  auto row = logits.data().subspan(position * a, a);
+  return {row.begin(), row.end()};
+}
+
+nn::Tensor CraftContext::current_obs_gradient(std::size_t position,
+                                              std::size_t action,
+                                              const nn::Tensor& current_obs) {
+  if (!use_cache_)
+    return attack::current_obs_gradient(model_, inputs_, position, action,
+                                        current_obs);
+  g_metrics.queries_gradient.add();
+  nn::Tensor logits = cached_logits(current_obs);
+  const std::size_t m = logits.dim(1);
+  if (position >= m)
+    throw std::logic_error("current_obs_gradient: position out of range");
+  // CE on the attacked position only; other rows get zero weight.
+  std::vector<std::size_t> targets(m, 0);
+  std::vector<float> weights(m, 0.0f);
+  targets[position] = action;
+  weights[position] = 1.0f;
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, targets, weights);
+  model_.zero_grad();  // keep parameter grads clean, as the full path does
+  nn::Tensor grad = model_.backward_to_current(loss.grad);
+  model_.zero_grad();
+  return grad;
+}
+
+nn::Tensor CraftContext::logit_diff_gradient(std::size_t position,
+                                             std::size_t a, std::size_t b,
+                                             const nn::Tensor& current_obs) {
+  if (!use_cache_)
+    return attack::logit_diff_gradient(model_, inputs_, position, a, b,
+                                       current_obs);
+  g_metrics.queries_gradient.add();
+  nn::Tensor logits = cached_logits(current_obs);
+  const std::size_t m = logits.dim(1), actions = logits.dim(2);
+  if (position >= m || a >= actions || b >= actions)
+    throw std::logic_error("logit_diff_gradient: index out of range");
+  nn::Tensor grad_logits(logits.shape());
+  grad_logits[position * actions + a] = 1.0f;
+  grad_logits[position * actions + b] -= 1.0f;  // a == b yields zero grad
+  model_.zero_grad();
+  nn::Tensor grad = model_.backward_to_current(grad_logits);
+  model_.zero_grad();
+  return grad;
+}
+
+nn::Tensor Attack::perturb(seq2seq::Seq2SeqModel& model,
+                           const CraftInputs& inputs, const Goal& goal,
+                           const Budget& budget, env::ObservationBounds bounds,
+                           util::Rng& rng) {
+  CraftContext ctx(model, inputs);
+  return perturb(ctx, goal, budget, bounds, rng);
+}
 
 // The budget is measured against the bounds-clamped original because
 // clamping is 1-Lipschitz: every attack that satisfied its budget pre-clamp
@@ -197,12 +312,13 @@ nn::Tensor current_obs_gradient(seq2seq::Seq2SeqModel& model,
   return std::move(grads.current_obs);
 }
 
-nn::Tensor GaussianAttack::perturb(seq2seq::Seq2SeqModel& /*model*/,
-                                   const CraftInputs& inputs,
-                                   const Goal& /*goal*/, const Budget& budget,
+nn::Tensor GaussianAttack::perturb(CraftContext& ctx, const Goal& /*goal*/,
+                                   const Budget& budget,
                                    env::ObservationBounds bounds,
                                    util::Rng& rng) {
   g_metrics.craft_gaussian.add();
+  // Model-free: never queries ctx, so the lazy history encoding is not built.
+  const CraftInputs& inputs = ctx.inputs();
   nn::Tensor delta(inputs.current_obs.shape());
   for (float& x : delta.data()) x = rng.normal_f(0.0f, 1.0f);
   scale_to_budget(delta, budget);
@@ -214,15 +330,15 @@ nn::Tensor GaussianAttack::perturb(seq2seq::Seq2SeqModel& /*model*/,
   return out;
 }
 
-nn::Tensor FgsmAttack::perturb(seq2seq::Seq2SeqModel& model,
-                               const CraftInputs& inputs, const Goal& goal,
+nn::Tensor FgsmAttack::perturb(CraftContext& ctx, const Goal& goal,
                                const Budget& budget,
                                env::ObservationBounds bounds,
                                util::Rng& /*rng*/) {
   g_metrics.craft_fgsm.add();
-  const Anchor anchor = resolve_anchor(model, inputs, goal);
+  const CraftInputs& inputs = ctx.inputs();
+  const Anchor anchor = resolve_anchor(ctx, goal);
   nn::Tensor grad =
-      crafting_direction(model, inputs, goal, anchor, inputs.current_obs);
+      crafting_direction(ctx, goal, anchor, inputs.current_obs);
   nn::Tensor delta(grad.shape());
   if (budget.norm == Budget::Norm::kLinf) {
     // Classic FGSM: epsilon * sign(grad).
@@ -250,21 +366,20 @@ PgdAttack::PgdAttack(std::size_t steps, float step_fraction)
     throw std::logic_error("PgdAttack: non-positive step fraction");
 }
 
-nn::Tensor PgdAttack::perturb(seq2seq::Seq2SeqModel& model,
-                              const CraftInputs& inputs, const Goal& goal,
+nn::Tensor PgdAttack::perturb(CraftContext& ctx, const Goal& goal,
                               const Budget& budget,
                               env::ObservationBounds bounds,
                               util::Rng& /*rng*/) {
   g_metrics.craft_pgd.add();
   g_metrics.pgd_iterations.add(steps_);
-  const Anchor anchor = resolve_anchor(model, inputs, goal);
+  const CraftInputs& inputs = ctx.inputs();
+  const Anchor anchor = resolve_anchor(ctx, goal);
   nn::Tensor candidate = inputs.current_obs;
   const float step_size = step_fraction_ * budget.epsilon;
   Budget step_budget = budget;
   step_budget.epsilon = step_size;
   for (std::size_t it = 0; it < steps_; ++it) {
-    nn::Tensor grad =
-        crafting_direction(model, inputs, goal, anchor, candidate);
+    nn::Tensor grad = crafting_direction(ctx, goal, anchor, candidate);
     nn::Tensor step(grad.shape());
     if (budget.norm == Budget::Norm::kLinf) {
       for (std::size_t i = 0; i < grad.size(); ++i)
@@ -322,14 +437,14 @@ CwAttack::CwAttack(std::size_t iterations, float c, float lr, float kappa)
   if (lr_ <= 0.0f) throw std::logic_error("CwAttack: non-positive lr");
 }
 
-nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
-                             const CraftInputs& inputs, const Goal& goal,
+nn::Tensor CwAttack::perturb(CraftContext& ctx, const Goal& goal,
                              const Budget& budget,
                              env::ObservationBounds bounds,
                              util::Rng& /*rng*/) {
   g_metrics.craft_cw.add();
+  const CraftInputs& inputs = ctx.inputs();
   // Anchor on the clean prediction (untargeted) or the requested target.
-  const auto clean_pred = predict_actions(model, inputs);
+  const auto clean_pred = ctx.predict_actions();
   if (goal.position >= clean_pred.size())
     throw std::logic_error("CwAttack: goal position beyond output sequence");
   const std::size_t anchor = goal.mode == Goal::Mode::kTargeted
@@ -339,8 +454,7 @@ nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
   nn::Tensor candidate = inputs.current_obs;
   for (std::size_t it = 0; it < iterations_; ++it) {
     g_metrics.cw_iterations.add();
-    const auto logits =
-        position_logits(model, inputs, goal.position, candidate);
+    const auto logits = ctx.position_logits(goal.position, candidate);
     // Best competing class to the anchor.
     std::size_t best_other = anchor == 0 ? 1 : 0;
     for (std::size_t j = 0; j < logits.size(); ++j)
@@ -354,10 +468,10 @@ nn::Tensor CwAttack::perturb(seq2seq::Seq2SeqModel& model,
 
     nn::Tensor margin_grad =
         goal.mode == Goal::Mode::kTargeted
-            ? logit_diff_gradient(model, inputs, goal.position, best_other,
-                                  anchor, candidate)
-            : logit_diff_gradient(model, inputs, goal.position, anchor,
-                                  best_other, candidate);
+            ? ctx.logit_diff_gradient(goal.position, best_other, anchor,
+                                      candidate)
+            : ctx.logit_diff_gradient(goal.position, anchor, best_other,
+                                      candidate);
     // Total objective gradient: 2 * delta + c * d margin.
     for (std::size_t i = 0; i < candidate.size(); ++i) {
       const float delta = candidate[i] - inputs.current_obs[i];
@@ -376,13 +490,13 @@ JsmaAttack::JsmaAttack(std::size_t max_features)
     throw std::logic_error("JsmaAttack: zero max_features");
 }
 
-nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
-                               const CraftInputs& inputs, const Goal& goal,
+nn::Tensor JsmaAttack::perturb(CraftContext& ctx, const Goal& goal,
                                const Budget& budget,
                                env::ObservationBounds bounds,
                                util::Rng& /*rng*/) {
   g_metrics.craft_jsma.add();
-  const auto clean_pred = predict_actions(model, inputs);
+  const CraftInputs& inputs = ctx.inputs();
+  const auto clean_pred = ctx.predict_actions();
   if (goal.position >= clean_pred.size())
     throw std::logic_error("JsmaAttack: goal position beyond output sequence");
   const std::size_t anchor = goal.mode == Goal::Mode::kTargeted
@@ -401,8 +515,7 @@ nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
   std::vector<bool> used(candidate.size(), false);
   for (std::size_t round = 0; round < features; ++round) {
     g_metrics.jsma_rounds.add();
-    const auto logits =
-        position_logits(model, inputs, goal.position, candidate);
+    const auto logits = ctx.position_logits(goal.position, candidate);
     std::size_t best_other = anchor == 0 ? (logits.size() > 1 ? 1 : 0) : 0;
     for (std::size_t j = 0; j < logits.size(); ++j)
       if (j != anchor && logits[j] > logits[best_other]) best_other = j;
@@ -417,10 +530,10 @@ nn::Tensor JsmaAttack::perturb(seq2seq::Seq2SeqModel& model,
     // (anchor - other) for targeted forcing.
     nn::Tensor saliency =
         goal.mode == Goal::Mode::kTargeted
-            ? logit_diff_gradient(model, inputs, goal.position, anchor,
-                                  best_other, candidate)
-            : logit_diff_gradient(model, inputs, goal.position, best_other,
-                                  anchor, candidate);
+            ? ctx.logit_diff_gradient(goal.position, anchor, best_other,
+                                      candidate)
+            : ctx.logit_diff_gradient(goal.position, best_other, anchor,
+                                      candidate);
     std::size_t pick = candidate.size();
     float best_mag = 0.0f;
     for (std::size_t i = 0; i < saliency.size(); ++i) {

@@ -46,6 +46,52 @@ struct CraftInputs {
   nn::Tensor current_obs;     ///< [1, F]
 };
 
+/// Whether crafting runs through the Seq2SeqModel craft-context cache
+/// (encode_history / forward_cached / backward_to_current) or through the
+/// full forward/backward. On by default; the RLATTACK_CRAFT_CACHE
+/// environment variable ("0" disables) sets the process-initial value. The
+/// two paths are bit-identical — the uncached one stays available as the
+/// parity oracle (tests/experiments_parallel_test.cpp flips this per run).
+bool craft_cache_enabled() noexcept;
+void set_craft_cache_enabled(bool enabled) noexcept;
+
+/// One craft's model-query frontend (the Section 4.4 attack loop). The
+/// histories (A_{t-1}, S_{t-1}) are fixed for the whole craft, so the
+/// context encodes them lazily exactly once — on the first model query, so
+/// model-free attacks never pay for it — and serves every further query,
+/// iterative PGD/CW/JSMA steps included, from the cached tail path. With
+/// craft_cache_enabled() off, every query delegates to the full-path free
+/// helpers below, bit-identically. `model` and `inputs` must outlive the
+/// context; one context serves exactly one (A_{t-1}, S_{t-1}) snapshot.
+class CraftContext {
+ public:
+  CraftContext(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs);
+  CraftContext(const CraftContext&) = delete;
+  CraftContext& operator=(const CraftContext&) = delete;
+
+  const CraftInputs& inputs() const noexcept { return inputs_; }
+
+  // Cached equivalents of the free helpers at the bottom of this header
+  // (same shapes, same bits, same query accounting).
+  std::vector<std::size_t> predict_actions();
+  std::vector<float> position_logits(std::size_t position,
+                                     const nn::Tensor& current_obs);
+  nn::Tensor current_obs_gradient(std::size_t position, std::size_t action,
+                                  const nn::Tensor& current_obs);
+  nn::Tensor logit_diff_gradient(std::size_t position, std::size_t a,
+                                 std::size_t b, const nn::Tensor& current_obs);
+
+ private:
+  /// forward_cached over the lazily built encoding.
+  nn::Tensor cached_logits(const nn::Tensor& current_obs);
+
+  seq2seq::Seq2SeqModel& model_;
+  const CraftInputs& inputs_;
+  bool use_cache_;      ///< craft_cache_enabled() at construction
+  bool encoded_ = false;
+  seq2seq::HistoryEncoding encoding_;
+};
+
 class Attack {
  public:
   virtual ~Attack() = default;
@@ -53,14 +99,21 @@ class Attack {
   Attack(const Attack&) = delete;
   Attack& operator=(const Attack&) = delete;
 
-  /// Returns the perturbed current observation (same shape as
-  /// inputs.current_obs), clamped to `bounds` and within `budget` of the
-  /// original.
-  virtual nn::Tensor perturb(seq2seq::Seq2SeqModel& model,
-                             const CraftInputs& inputs, const Goal& goal,
+  /// Crafting entry point: returns the perturbed current observation (same
+  /// shape as ctx.inputs().current_obs), clamped to `bounds` and within
+  /// `budget` of the original. All model queries go through `ctx`, which
+  /// amortises the history encoding across the craft's iterations.
+  virtual nn::Tensor perturb(CraftContext& ctx, const Goal& goal,
                              const Budget& budget,
                              env::ObservationBounds bounds,
                              util::Rng& rng) = 0;
+
+  /// Convenience overload: crafts through a fresh one-shot context over
+  /// (model, inputs). Derived classes re-expose it with
+  /// `using Attack::perturb;`.
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng);
 
   virtual std::string name() const = 0;
 };
@@ -71,8 +124,8 @@ using AttackPtr = std::unique_ptr<Attack>;
 /// paper argues all evaluations should include).
 class GaussianAttack final : public Attack {
  public:
-  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                     const Goal& goal, const Budget& budget,
+  using Attack::perturb;
+  nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "gaussian"; }
 };
@@ -81,8 +134,8 @@ class GaussianAttack final : public Attack {
 /// gradient step for L2 budgets.
 class FgsmAttack final : public Attack {
  public:
-  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                     const Goal& goal, const Budget& budget,
+  using Attack::perturb;
+  nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "fgsm"; }
 };
@@ -94,8 +147,8 @@ class PgdAttack final : public Attack {
  public:
   explicit PgdAttack(std::size_t steps = 7, float step_fraction = 0.3f);
 
-  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                     const Goal& goal, const Budget& budget,
+  using Attack::perturb;
+  nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "pgd"; }
 
@@ -118,8 +171,8 @@ class CwAttack final : public Attack {
   explicit CwAttack(std::size_t iterations = 20, float c = 1.0f,
                     float lr = 0.05f, float kappa = 0.0f);
 
-  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                     const Goal& goal, const Budget& budget,
+  using Attack::perturb;
+  nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "cw"; }
 
@@ -140,8 +193,8 @@ class JsmaAttack final : public Attack {
  public:
   explicit JsmaAttack(std::size_t max_features = 8);
 
-  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
-                     const Goal& goal, const Budget& budget,
+  using Attack::perturb;
+  nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "jsma"; }
 

@@ -97,6 +97,10 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
     if (attack_now) {
       attack::CraftInputs inputs =
           fifo.crafting_inputs(frame.reshaped({frame_size_}));
+      // One craft context per attacked step: the history encoding built for
+      // runner-up target selection below is reused by every iteration of
+      // the attack itself.
+      attack::CraftContext ctx(model_, inputs);
       attack::Goal goal;
       goal.mode = policy.goal_mode;
       const std::size_t m = model_.config().output_steps;
@@ -108,10 +112,9 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
           // Aim at the runner-up action of the prediction at the position:
           // the easiest-to-reach wrong action.
           obs::Span span(metrics.approx_inference);
-          nn::Tensor logits = model_.forward(
-              inputs.action_history, inputs.obs_history, inputs.current_obs);
-          const std::size_t a = logits.dim(2);
-          auto row = logits.data().subspan(goal.position * a, a);
+          const std::vector<float> row =
+              ctx.position_logits(goal.position, inputs.current_obs);
+          const std::size_t a = row.size();
           std::size_t best = 0, second = (a > 1) ? 1 : 0;
           if (row[second] > row[best]) std::swap(best, second);
           for (std::size_t i = 2; i < a; ++i) {
@@ -129,7 +132,7 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
       }
       nn::Tensor perturbed_flat = [&] {
         obs::Span span(metrics.perturb);
-        return attack_.perturb(model_, inputs, goal, budget_, bounds, rng);
+        return attack_.perturb(ctx, goal, budget_, bounds, rng);
       }();
       metrics.attacks.add();
       if constexpr (util::kCheckedBuild) {

@@ -28,6 +28,10 @@ class Sequential final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Qualified parameter views ("layer<i>.<name>"). Built once per topology
+  /// (add() invalidates) — the per-call name concatenation used to run on
+  /// every zero_grad. Layers must not be mutated behind the container's
+  /// back after the first call (the views alias layer-owned tensors).
   std::vector<Param> params() override;
   std::string name() const override { return "Sequential"; }
   void set_training(bool training) override;
@@ -38,6 +42,9 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Lazily built qualified parameter views (see params()); cleared by add().
+  std::vector<Param> params_cache_;
+  bool params_cached_ = false;
   // Per-layer telemetry spans (nn.forward.<LayerName> /
   // nn.backward.<LayerName>), registered once in add(); all Sequential
   // instances share the per-name aggregate in the global registry.

@@ -16,6 +16,8 @@ Sequential& Sequential::add(LayerPtr layer) {
   forward_spans_.push_back(&registry.span("nn.forward." + layer->name()));
   backward_spans_.push_back(&registry.span("nn.backward." + layer->name()));
   layers_.push_back(std::move(layer));
+  params_cache_.clear();
+  params_cached_ = false;
   return *this;
 }
 
@@ -84,14 +86,16 @@ Tensor Sequential::backward(const Tensor& grad_output) {
 }
 
 std::vector<Param> Sequential::params() {
-  std::vector<Param> out;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    for (Param p : layers_[i]->params()) {
-      p.name = "layer" + std::to_string(i) + "." + p.name;
-      out.push_back(p);
+  if (!params_cached_) {
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      for (Param p : layers_[i]->params()) {
+        p.name = "layer" + std::to_string(i) + "." + p.name;
+        params_cache_.push_back(p);
+      }
     }
+    params_cached_ = true;
   }
-  return out;
+  return params_cache_;
 }
 
 void Sequential::set_training(bool training) {

@@ -51,6 +51,33 @@ struct Seq2SeqConfig {
   }
 };
 
+class Seq2SeqModel;
+
+/// Snapshot of everything the model computes from the *fixed* craft inputs
+/// (A_{t-1}, S_{t-1}): the attack loop of Section 4.4 perturbs only the
+/// current observation s_t, so an iterative craft encodes the temporal
+/// context once (Seq2SeqModel::encode_history) and replays only the
+/// s_t-dependent tail per iteration (forward_cached /
+/// backward_to_current). Valid only for the model instance that produced
+/// it and must outlive any forward_cached/backward_to_current call that
+/// uses it (the model keeps a pointer, not a copy).
+struct HistoryEncoding {
+  const Seq2SeqModel* owner = nullptr;  ///< producing model (stale check)
+  std::size_t batch = 0;                ///< B of the encoded histories
+  std::size_t input_steps = 0;          ///< n at encode time
+  bool attention = false;               ///< which field set below is live
+  // Pooling decoder: summed action-head + obs-head embeddings.
+  nn::Tensor history_embedding;  ///< [B, E]
+  // Attention decoder: the obs history enters per-step via attention, so
+  // the encoder states and their key projection K = E W_a^T are cached
+  // alongside the action embedding.
+  nn::Tensor action_embedding;  ///< [B, E]
+  nn::Tensor encoder;           ///< [B, n, H]
+  nn::Tensor keys;              ///< [B, n, E]
+
+  bool valid() const noexcept { return owner != nullptr; }
+};
+
 class Seq2SeqModel {
  public:
   Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed);
@@ -74,8 +101,39 @@ class Seq2SeqModel {
   /// returning input gradients. Call at most once per forward.
   InputGrads backward(const nn::Tensor& grad_logits);
 
-  /// All learnable parameters across heads and decoder.
-  std::vector<nn::Param> params();
+  // --- craft-context fast path (Section 4.4 attack loop) ---
+  //
+  // forward() == forward_cached(encode_history(A, S), s_t) bit-for-bit, and
+  // backward_to_current returns exactly backward(g).current_obs — enforced
+  // by tests/seq2seq_test.cpp. forward/backward stay the training path and
+  // the parity oracle; the attacks run on the cached path.
+
+  /// Runs the history heads once: action head + observation head (pooling
+  /// decoder) or action head + observation encoder + key projection
+  /// (attention decoder). The n-step LSTM stacks over the histories are
+  /// never re-entered by forward_cached/backward_to_current.
+  HistoryEncoding encode_history(const nn::Tensor& action_history,
+                                 const nn::Tensor& obs_history);
+
+  /// Evaluates only the s_t-dependent tail — current-observation head,
+  /// RepeatVector, decoder and attention mixing — on top of `cache`.
+  /// Returns logits [B, m, A] bit-identical to the full forward. The cache
+  /// must outlive the call and any backward_to_current that follows.
+  nn::Tensor forward_cached(const HistoryEncoding& cache,
+                            const nn::Tensor& current_obs);
+
+  /// Truncated backward for the cached path: propagates d loss / d logits
+  /// to the current observation only, stopping at the cache boundary — the
+  /// history heads see no backward work and accumulate no gradient. Call at
+  /// most once per forward_cached. Returns [B, F], bit-identical to
+  /// backward(grad_logits).current_obs.
+  nn::Tensor backward_to_current(const nn::Tensor& grad_logits);
+
+  /// All learnable parameters across heads and decoder. Built lazily on
+  /// first call and cached (topology is fixed after construction); the
+  /// model must not be moved afterwards — the Param views alias member
+  /// tensors (same contract as nn::Optimizer).
+  const std::vector<nn::Param>& params();
 
   void zero_grad();
 
@@ -97,6 +155,30 @@ class Seq2SeqModel {
   /// returned to the attack layer; no-op condition in release builds.
   void check_input_grads(const InputGrads& grads) const;
 
+  // Shared building blocks of the full and cached paths (the two must stay
+  // bit-identical, so they run the exact same code):
+  /// [B, E] -> [B, m, E] RepeatVector (Figure 1).
+  nn::Tensor repeat_embedding(const nn::Tensor& embedding) const;
+  /// [B, m, E] gradient -> [B, E]: RepeatVector backward (sum over copies).
+  nn::Tensor sum_over_steps(const nn::Tensor& grad_repeated) const;
+  /// Keys K[b, i, :] = W_a * E[b, i, :] (Luong "general" score).
+  nn::Tensor project_keys(const nn::Tensor& encoder) const;
+  /// RepeatVector + decoder LSTM + attention mixing + output dense; reads
+  /// `encoder`/`keys` (members on the full path, HistoryEncoding fields on
+  /// the cached path) and fills cached_decoder_/cached_alpha_.
+  nn::Tensor decode_attention(const nn::Tensor& embedding,
+                              const nn::Tensor& encoder,
+                              const nn::Tensor& keys);
+  /// Attention-mixing backward: returns d loss / d decoder states. With
+  /// non-null `grad_encoder`/`grad_keys` also accumulates the
+  /// history-facing gradients; the cached path passes nullptr and the
+  /// whole history branch is skipped.
+  nn::Tensor attention_mix_backward(const nn::Tensor& grad_concat,
+                                    const nn::Tensor& encoder,
+                                    const nn::Tensor& keys,
+                                    nn::Tensor* grad_encoder,
+                                    nn::Tensor* grad_keys);
+
   Seq2SeqConfig config_;
   std::uint64_t seed_ = 0;       ///< construction seed, reused by clone()
   nn::Sequential action_head_;   // [B, n, A] -> [B, E]
@@ -104,6 +186,11 @@ class Seq2SeqModel {
   nn::Sequential current_head_;  // [B, F]    -> [B, E]
   nn::Sequential decoder_;       // [B, m, E] -> [B, m, A] (pooling decoder)
   std::size_t cached_batch_ = 0;
+  /// Encoding used by the last forward_cached; read by backward_to_current,
+  /// reset to nullptr by the full forward. Not owned.
+  const HistoryEncoding* active_cache_ = nullptr;
+  /// Lazily built parameter views (see params()).
+  std::vector<nn::Param> params_cache_;
 
   // --- attention-decoder variant ---
   nn::Sequential obs_encoder_;    // [B, n, F] -> [B, n, H] encoder states
@@ -116,6 +203,12 @@ class Seq2SeqModel {
   nn::Tensor cached_keys_;      // [B, n, E]
   nn::Tensor cached_decoder_;   // [B, m, E]
   nn::Tensor cached_alpha_;     // [B, m, n]
+  // Reusable scratch for the attention inner loops (scores / dalpha are
+  // per-(b, t) temporaries; keeping them as members avoids a heap
+  // allocation per output position). Model instances are never shared
+  // across threads (episode workers clone), so plain members are safe.
+  std::vector<float> attn_scores_scratch_;
+  std::vector<float> attn_dalpha_scratch_;
 };
 
 /// Head presets matching Table 2's per-game configurations, scaled to this

@@ -135,6 +135,7 @@ nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
     throw std::logic_error("Seq2SeqModel::forward: bad current observation " +
                            current_obs.shape_string());
   cached_batch_ = action_history.dim(0);
+  active_cache_ = nullptr;  // this forward pairs with the full backward
   if constexpr (util::kCheckedBuild) {
     RLATTACK_CHECK(util::all_finite(action_history.data()),
                    "Seq2SeqModel::forward: non-finite action history");
@@ -150,16 +151,7 @@ nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
   embedding += obs_head_.forward(obs_history);
   embedding += current_head_.forward(current_obs);
 
-  // RepeatVector: duplicate the summed embedding m times (Figure 1).
-  const std::size_t m = config_.output_steps;
-  const std::size_t e = config_.embed;
-  nn::Tensor repeated({cached_batch_, m, e});
-  for (std::size_t b = 0; b < cached_batch_; ++b)
-    for (std::size_t t = 0; t < m; ++t)
-      for (std::size_t k = 0; k < e; ++k)
-        repeated.at3(b, t, k) = embedding.at2(b, k);
-
-  return decoder_.forward(repeated);  // [B, m, A]
+  return decoder_.forward(repeat_embedding(embedding));  // [B, m, A]
 }
 
 Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
@@ -167,7 +159,6 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
       rlattack::obs::MetricsRegistry::global().span("seq2seq.backward");
   rlattack::obs::Span span(span_stat);
   const std::size_t m = config_.output_steps;
-  const std::size_t e = config_.embed;
   if (grad_logits.rank() != 3 || grad_logits.dim(0) != cached_batch_ ||
       grad_logits.dim(1) != m || grad_logits.dim(2) != config_.actions)
     throw std::logic_error("Seq2SeqModel::backward: bad gradient shape " +
@@ -175,6 +166,9 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
   if constexpr (util::kCheckedBuild) {
     RLATTACK_CHECK(util::all_finite(grad_logits.data()),
                    "Seq2SeqModel::backward: non-finite logits gradient");
+    RLATTACK_CHECK(active_cache_ == nullptr,
+                   "Seq2SeqModel::backward: last forward was forward_cached; "
+                   "use backward_to_current");
   }
   if (config_.use_attention) {
     InputGrads grads = backward_attention(grad_logits);
@@ -184,11 +178,7 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
 
   nn::Tensor grad_repeated = decoder_.backward(grad_logits);  // [B, m, E]
   // Duplication backward: sum gradients across the m copies.
-  nn::Tensor grad_embedding({cached_batch_, e});
-  for (std::size_t b = 0; b < cached_batch_; ++b)
-    for (std::size_t t = 0; t < m; ++t)
-      for (std::size_t k = 0; k < e; ++k)
-        grad_embedding.at2(b, k) += grad_repeated.at3(b, t, k);
+  nn::Tensor grad_embedding = sum_over_steps(grad_repeated);
 
   // Summation aggregation backward: each head receives the same gradient.
   InputGrads grads;
@@ -214,52 +204,73 @@ void Seq2SeqModel::check_input_grads(const InputGrads& grads) const {
   }
 }
 
-nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,
-                                           const nn::Tensor& obs_history,
-                                           const nn::Tensor& current_obs) {
-  const std::size_t b_count = cached_batch_;
-  const std::size_t n = config_.input_steps;
+nn::Tensor Seq2SeqModel::repeat_embedding(const nn::Tensor& embedding) const {
+  // RepeatVector: duplicate the summed embedding m times (Figure 1).
+  const std::size_t b_count = embedding.dim(0);
   const std::size_t m = config_.output_steps;
   const std::size_t e = config_.embed;
-  const std::size_t h = config_.lstm_hidden;
-
-  // Encoder states over the observation history.
-  cached_encoder_ = obs_encoder_.forward(obs_history);  // [B, n, H]
-
-  // Keys K[b, i, :] = W_a * E[b, i, :]  (Luong "general" score).
-  cached_keys_ = nn::Tensor({b_count, n, e});
-  for (std::size_t b = 0; b < b_count; ++b)
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t k = 0; k < e; ++k) {
-        float acc = 0.0f;
-        for (std::size_t hh = 0; hh < h; ++hh)
-          acc += attn_w_[k * h + hh] * cached_encoder_.at3(b, i, hh);
-        cached_keys_.at3(b, i, k) = acc;
-      }
-
-  // Decoder input: summed action + current-observation embeddings,
-  // repeated m times (the observation history enters via attention).
-  nn::Tensor embedding = action_head_.forward(action_history);
-  embedding += current_head_.forward(current_obs);
   nn::Tensor repeated({b_count, m, e});
   for (std::size_t b = 0; b < b_count; ++b)
     for (std::size_t t = 0; t < m; ++t)
       for (std::size_t k = 0; k < e; ++k)
         repeated.at3(b, t, k) = embedding.at2(b, k);
-  cached_decoder_ = decoder_lstm_.forward(repeated);  // [B, m, E]
+  return repeated;
+}
+
+nn::Tensor Seq2SeqModel::sum_over_steps(const nn::Tensor& grad_repeated) const {
+  const std::size_t b_count = grad_repeated.dim(0);
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  nn::Tensor grad_embedding({b_count, e});
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t t = 0; t < m; ++t)
+      for (std::size_t k = 0; k < e; ++k)
+        grad_embedding.at2(b, k) += grad_repeated.at3(b, t, k);
+  return grad_embedding;
+}
+
+nn::Tensor Seq2SeqModel::project_keys(const nn::Tensor& encoder) const {
+  // Keys K[b, i, :] = W_a * E[b, i, :]  (Luong "general" score).
+  const std::size_t b_count = encoder.dim(0);
+  const std::size_t n = encoder.dim(1);
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+  nn::Tensor keys({b_count, n, e});
+  for (std::size_t b = 0; b < b_count; ++b)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < e; ++k) {
+        float acc = 0.0f;
+        for (std::size_t hh = 0; hh < h; ++hh)
+          acc += attn_w_[k * h + hh] * encoder.at3(b, i, hh);
+        keys.at3(b, i, k) = acc;
+      }
+  return keys;
+}
+
+nn::Tensor Seq2SeqModel::decode_attention(const nn::Tensor& embedding,
+                                          const nn::Tensor& encoder,
+                                          const nn::Tensor& keys) {
+  const std::size_t b_count = embedding.dim(0);
+  const std::size_t n = encoder.dim(1);
+  const std::size_t m = config_.output_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+
+  cached_decoder_ = decoder_lstm_.forward(repeat_embedding(embedding));
 
   // Attention weights and contexts.
   cached_alpha_ = nn::Tensor({b_count, m, n});
   nn::Tensor concat({b_count, m, e + h});
+  attn_scores_scratch_.resize(n);
+  float* const scores = attn_scores_scratch_.data();
   for (std::size_t b = 0; b < b_count; ++b) {
     for (std::size_t t = 0; t < m; ++t) {
       // scores_i = D_t . K_i, softmaxed over i.
       float mx = -std::numeric_limits<float>::infinity();
-      std::vector<float> scores(n);
       for (std::size_t i = 0; i < n; ++i) {
         float s = 0.0f;
         for (std::size_t k = 0; k < e; ++k)
-          s += cached_decoder_.at3(b, t, k) * cached_keys_.at3(b, i, k);
+          s += cached_decoder_.at3(b, t, k) * keys.at3(b, i, k);
         scores[i] = s;
         mx = std::max(mx, s);
       }
@@ -276,7 +287,7 @@ nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,
       for (std::size_t hh = 0; hh < h; ++hh) {
         float c = 0.0f;
         for (std::size_t i = 0; i < n; ++i)
-          c += cached_alpha_.at3(b, t, i) * cached_encoder_.at3(b, i, hh);
+          c += cached_alpha_.at3(b, t, i) * encoder.at3(b, i, hh);
         concat[(b * m + t) * (e + h) + e + hh] = c;
       }
     }
@@ -284,19 +295,34 @@ nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,
   return output_dense_.forward(concat);  // [B, m, A]
 }
 
-Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
-    const nn::Tensor& grad_logits) {
-  const std::size_t b_count = cached_batch_;
-  const std::size_t n = config_.input_steps;
+nn::Tensor Seq2SeqModel::forward_attention(const nn::Tensor& action_history,
+                                           const nn::Tensor& obs_history,
+                                           const nn::Tensor& current_obs) {
+  // Encoder states over the observation history, and their key projection.
+  cached_encoder_ = obs_encoder_.forward(obs_history);  // [B, n, H]
+  cached_keys_ = project_keys(cached_encoder_);         // [B, n, E]
+
+  // Decoder input: summed action + current-observation embeddings,
+  // repeated m times (the observation history enters via attention).
+  nn::Tensor embedding = action_head_.forward(action_history);
+  embedding += current_head_.forward(current_obs);
+  return decode_attention(embedding, cached_encoder_, cached_keys_);
+}
+
+nn::Tensor Seq2SeqModel::attention_mix_backward(const nn::Tensor& grad_concat,
+                                                const nn::Tensor& encoder,
+                                                const nn::Tensor& keys,
+                                                nn::Tensor* grad_encoder,
+                                                nn::Tensor* grad_keys) {
+  const std::size_t b_count = grad_concat.dim(0);
+  const std::size_t n = encoder.dim(1);
   const std::size_t m = config_.output_steps;
   const std::size_t e = config_.embed;
   const std::size_t h = config_.lstm_hidden;
 
-  nn::Tensor grad_concat = output_dense_.backward(grad_logits);  // [B,m,E+H]
-
   nn::Tensor grad_decoder({b_count, m, e});
-  nn::Tensor grad_encoder({b_count, n, h});
-  nn::Tensor grad_keys({b_count, n, e});
+  attn_dalpha_scratch_.resize(n);
+  float* const dalpha = attn_dalpha_scratch_.data();
 
   for (std::size_t b = 0; b < b_count; ++b) {
     for (std::size_t t = 0; t < m; ++t) {
@@ -306,14 +332,15 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
         grad_decoder.at3(b, t, k) += gz[k];
       const float* gc = gz + e;  // d loss / d context [H]
 
-      // d alpha_i = gc . E_i ; encoder grad from the context sum.
-      std::vector<float> dalpha(n);
+      // d alpha_i = gc . E_i ; encoder grad from the context sum (only
+      // needed when the history branch is being propagated).
       for (std::size_t i = 0; i < n; ++i) {
         float da = 0.0f;
         const float alpha = cached_alpha_.at3(b, t, i);
         for (std::size_t hh = 0; hh < h; ++hh) {
-          da += gc[hh] * cached_encoder_.at3(b, i, hh);
-          grad_encoder.at3(b, i, hh) += alpha * gc[hh];
+          da += gc[hh] * encoder.at3(b, i, hh);
+          if (grad_encoder != nullptr)
+            grad_encoder->at3(b, i, hh) += alpha * gc[hh];
         }
         dalpha[i] = da;
       }
@@ -326,12 +353,29 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
         if (ds == 0.0f) continue;
         // score = D_t . K_i.
         for (std::size_t k = 0; k < e; ++k) {
-          grad_decoder.at3(b, t, k) += ds * cached_keys_.at3(b, i, k);
-          grad_keys.at3(b, i, k) += ds * cached_decoder_.at3(b, t, k);
+          grad_decoder.at3(b, t, k) += ds * keys.at3(b, i, k);
+          if (grad_keys != nullptr)
+            grad_keys->at3(b, i, k) += ds * cached_decoder_.at3(b, t, k);
         }
       }
     }
   }
+  return grad_decoder;
+}
+
+Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
+    const nn::Tensor& grad_logits) {
+  const std::size_t b_count = cached_batch_;
+  const std::size_t n = config_.input_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+
+  nn::Tensor grad_concat = output_dense_.backward(grad_logits);  // [B,m,E+H]
+
+  nn::Tensor grad_encoder({b_count, n, h});
+  nn::Tensor grad_keys({b_count, n, e});
+  nn::Tensor grad_decoder = attention_mix_backward(
+      grad_concat, cached_encoder_, cached_keys_, &grad_encoder, &grad_keys);
 
   // K = E W_a^T: accumulate W_a grads and the encoder grad through the keys.
   for (std::size_t b = 0; b < b_count; ++b)
@@ -349,18 +393,153 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
   grads.obs_history = obs_encoder_.backward(grad_encoder);
 
   nn::Tensor grad_repeated = decoder_lstm_.backward(grad_decoder);
-  nn::Tensor grad_embedding({b_count, e});
-  for (std::size_t b = 0; b < b_count; ++b)
-    for (std::size_t t = 0; t < m; ++t)
-      for (std::size_t k = 0; k < e; ++k)
-        grad_embedding.at2(b, k) += grad_repeated.at3(b, t, k);
+  nn::Tensor grad_embedding = sum_over_steps(grad_repeated);
   grads.action_history = action_head_.backward(grad_embedding);
   grads.current_obs = current_head_.backward(grad_embedding);
   return grads;
 }
 
-std::vector<nn::Param> Seq2SeqModel::params() {
-  std::vector<nn::Param> out;
+HistoryEncoding Seq2SeqModel::encode_history(const nn::Tensor& action_history,
+                                             const nn::Tensor& obs_history) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span("seq2seq.encode_history");
+  rlattack::obs::Span span(span_stat);
+  const std::size_t n = config_.input_steps;
+  if (action_history.rank() != 3 || action_history.dim(1) != n ||
+      action_history.dim(2) != config_.actions)
+    throw std::logic_error("Seq2SeqModel::encode_history: bad action history " +
+                           action_history.shape_string());
+  if (obs_history.rank() != 3 || obs_history.dim(1) != n ||
+      obs_history.dim(2) != config_.frame_size() ||
+      obs_history.dim(0) != action_history.dim(0))
+    throw std::logic_error(
+        "Seq2SeqModel::encode_history: bad observation history " +
+        obs_history.shape_string());
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(action_history.data()),
+                   "Seq2SeqModel::encode_history: non-finite action history");
+    RLATTACK_CHECK(
+        util::all_finite(obs_history.data()),
+        "Seq2SeqModel::encode_history: non-finite observation history");
+  }
+  HistoryEncoding cache;
+  cache.owner = this;
+  cache.batch = action_history.dim(0);
+  cache.input_steps = n;
+  cache.attention = config_.use_attention;
+  if (!config_.use_attention) {
+    // Same accumulation order as forward(): action embedding first, then
+    // the observation embedding — (a + o) + c stays bit-identical when
+    // forward_cached later adds the current-observation embedding c.
+    cache.history_embedding = action_head_.forward(action_history);
+    cache.history_embedding += obs_head_.forward(obs_history);
+  } else {
+    cache.encoder = obs_encoder_.forward(obs_history);  // [B, n, H]
+    cache.keys = project_keys(cache.encoder);           // [B, n, E]
+    cache.action_embedding = action_head_.forward(action_history);
+  }
+  return cache;
+}
+
+nn::Tensor Seq2SeqModel::forward_cached(const HistoryEncoding& cache,
+                                        const nn::Tensor& current_obs) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span("seq2seq.forward_cached");
+  rlattack::obs::Span span(span_stat);
+  if constexpr (util::kCheckedBuild) {
+    // Stale-cache detection: the encoding must come from *this* model (a
+    // clone's weights may since have diverged) and describe the same batch
+    // and history length the craft is about to query.
+    RLATTACK_CHECK(cache.owner == this,
+                   "Seq2SeqModel::forward_cached: encoding from a different "
+                   "model instance");
+    RLATTACK_CHECK(cache.attention == config_.use_attention,
+                   "Seq2SeqModel::forward_cached: encoding decoder variant "
+                   "does not match the model");
+    RLATTACK_CHECK(cache.input_steps == config_.input_steps,
+                   "Seq2SeqModel::forward_cached: encoding input_steps " +
+                       std::to_string(cache.input_steps) +
+                       " != model input_steps " +
+                       std::to_string(config_.input_steps));
+    RLATTACK_CHECK(
+        current_obs.rank() == 2 && current_obs.dim(0) == cache.batch,
+        "Seq2SeqModel::forward_cached: current observation batch " +
+            current_obs.shape_string() + " does not match encoding batch " +
+            std::to_string(cache.batch));
+    RLATTACK_CHECK(util::all_finite(current_obs.data()),
+                   "Seq2SeqModel::forward_cached: non-finite current "
+                   "observation");
+  }
+  if (!cache.valid())
+    throw std::logic_error("Seq2SeqModel::forward_cached: invalid encoding");
+  if (current_obs.rank() != 2 || current_obs.dim(1) != config_.frame_size() ||
+      current_obs.dim(0) != cache.batch)
+    throw std::logic_error(
+        "Seq2SeqModel::forward_cached: bad current observation " +
+        current_obs.shape_string());
+  cached_batch_ = cache.batch;
+  active_cache_ = &cache;
+  if (!config_.use_attention) {
+    nn::Tensor embedding = cache.history_embedding;
+    embedding += current_head_.forward(current_obs);
+    return decoder_.forward(repeat_embedding(embedding));  // [B, m, A]
+  }
+  nn::Tensor embedding = cache.action_embedding;
+  embedding += current_head_.forward(current_obs);
+  return decode_attention(embedding, cache.encoder, cache.keys);
+}
+
+nn::Tensor Seq2SeqModel::backward_to_current(const nn::Tensor& grad_logits) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span(
+          "seq2seq.backward_to_current");
+  rlattack::obs::Span span(span_stat);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(active_cache_ != nullptr,
+                   "Seq2SeqModel::backward_to_current: no preceding "
+                   "forward_cached (the last forward was the full path)");
+    RLATTACK_CHECK(util::all_finite(grad_logits.data()),
+                   "Seq2SeqModel::backward_to_current: non-finite logits "
+                   "gradient");
+  }
+  if (active_cache_ == nullptr)
+    throw std::logic_error(
+        "Seq2SeqModel::backward_to_current: call forward_cached first");
+  if (grad_logits.rank() != 3 || grad_logits.dim(0) != cached_batch_ ||
+      grad_logits.dim(1) != config_.output_steps ||
+      grad_logits.dim(2) != config_.actions)
+    throw std::logic_error(
+        "Seq2SeqModel::backward_to_current: bad gradient shape " +
+        grad_logits.shape_string());
+  const HistoryEncoding& cache = *active_cache_;
+  active_cache_ = nullptr;  // one backward per forward_cached
+  nn::Tensor grad_current;
+  if (!config_.use_attention) {
+    nn::Tensor grad_repeated = decoder_.backward(grad_logits);  // [B, m, E]
+    grad_current = current_head_.backward(sum_over_steps(grad_repeated));
+  } else {
+    nn::Tensor grad_concat = output_dense_.backward(grad_logits);
+    // Truncate at the cache boundary: no encoder, key or attention-weight
+    // gradients — the histories are fixed for the whole craft.
+    nn::Tensor grad_decoder = attention_mix_backward(
+        grad_concat, cache.encoder, cache.keys, nullptr, nullptr);
+    nn::Tensor grad_repeated = decoder_lstm_.backward(grad_decoder);
+    grad_current = current_head_.backward(sum_over_steps(grad_repeated));
+  }
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(grad_current.data()),
+                   "Seq2SeqModel::backward_to_current: non-finite "
+                   "current-obs gradient");
+  }
+  return grad_current;
+}
+
+const std::vector<nn::Param>& Seq2SeqModel::params() {
+  if (!params_cache_.empty()) return params_cache_;
+  // Built once: the layer topology is fixed after construction, and the
+  // per-call string concatenation below used to dominate zero_grad() on the
+  // crafting hot path.
+  std::vector<nn::Param>& out = params_cache_;
   auto take = [&out](nn::Sequential& part, const std::string& prefix) {
     for (nn::Param p : part.params()) {
       p.name = prefix + "." + p.name;
@@ -381,11 +560,11 @@ std::vector<nn::Param> Seq2SeqModel::params() {
     take(output_dense_, "output_dense");
     out.push_back({&attn_w_, &attn_w_grad_, "attention.w"});
   }
-  return out;
+  return params_cache_;
 }
 
 void Seq2SeqModel::zero_grad() {
-  for (nn::Param& p : params()) p.grad->zero();
+  for (const nn::Param& p : params()) p.grad->zero();
 }
 
 std::unique_ptr<Seq2SeqModel> Seq2SeqModel::clone() {

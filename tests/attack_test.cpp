@@ -356,5 +356,77 @@ TEST(Attack, PredictActionsShape) {
   for (std::size_t a : actions) EXPECT_LT(a, 2u);
 }
 
+/// Restores the process-wide craft-cache flag on scope exit so a failing
+/// assertion can't leak a disabled cache into later tests.
+class CraftCacheGuard {
+ public:
+  CraftCacheGuard() : saved_(craft_cache_enabled()) {}
+  ~CraftCacheGuard() { set_craft_cache_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Attack, CraftContextMatchesFreeHelpersBitExactly) {
+  CraftCacheGuard guard;
+  set_craft_cache_enabled(true);
+  auto model = trained_toy_model(/*m=*/2);
+  util::Rng rng(21);
+  CraftInputs inputs = toy_inputs(rng);
+  CraftContext ctx(*model, inputs);
+
+  EXPECT_EQ(ctx.predict_actions(), predict_actions(*model, inputs));
+  const auto cached_row = ctx.position_logits(1, inputs.current_obs);
+  const auto full_row = position_logits(*model, inputs, 1, inputs.current_obs);
+  ASSERT_EQ(cached_row.size(), full_row.size());
+  for (std::size_t i = 0; i < full_row.size(); ++i)
+    EXPECT_EQ(cached_row[i], full_row[i]) << "logit " << i;
+
+  nn::Tensor cached_ce = ctx.current_obs_gradient(0, 1, inputs.current_obs);
+  nn::Tensor full_ce =
+      current_obs_gradient(*model, inputs, 0, 1, inputs.current_obs);
+  ASSERT_TRUE(cached_ce.same_shape(full_ce));
+  for (std::size_t i = 0; i < full_ce.size(); ++i)
+    EXPECT_EQ(cached_ce[i], full_ce[i]) << "CE grad " << i;
+
+  nn::Tensor cached_diff = ctx.logit_diff_gradient(0, 0, 1, inputs.current_obs);
+  nn::Tensor full_diff =
+      logit_diff_gradient(*model, inputs, 0, 0, 1, inputs.current_obs);
+  ASSERT_TRUE(cached_diff.same_shape(full_diff));
+  for (std::size_t i = 0; i < full_diff.size(); ++i)
+    EXPECT_EQ(cached_diff[i], full_diff[i]) << "diff grad " << i;
+}
+
+TEST(Attack, EveryAttackBitIdenticalWithCacheOnAndOff) {
+  // The uncached path is the parity oracle: every built-in attack must emit
+  // the exact same bytes whether crafting runs cached or not.
+  CraftCacheGuard guard;
+  auto model = trained_toy_model(/*m=*/2);
+  util::Rng rng(22);
+  CraftInputs inputs = toy_inputs(rng);
+  for (Kind kind :
+       {Kind::kGaussian, Kind::kFgsm, Kind::kPgd, Kind::kCw, Kind::kJsma}) {
+    for (auto norm : {Budget::Norm::kL2, Budget::Norm::kLinf}) {
+      Budget budget{norm, 0.5f};
+      env::ObservationBounds bounds{-10.0f, 10.0f};
+      Goal goal;
+      goal.position = 1;
+      AttackPtr attack = make_attack(kind);
+      set_craft_cache_enabled(true);
+      util::Rng rng_on(7);
+      nn::Tensor on =
+          attack->perturb(*model, inputs, goal, budget, bounds, rng_on);
+      set_craft_cache_enabled(false);
+      util::Rng rng_off(7);
+      nn::Tensor off =
+          attack->perturb(*model, inputs, goal, budget, bounds, rng_off);
+      ASSERT_TRUE(on.same_shape(off));
+      for (std::size_t i = 0; i < on.size(); ++i)
+        ASSERT_EQ(on[i], off[i])
+            << attack_name(kind) << " diverges at element " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rlattack::attack

@@ -144,6 +144,104 @@ TEST(CheckedInvariantsTest, CleanSeq2SeqRoundTripDoesNotTrip) {
   EXPECT_NO_THROW(model.backward(grad));
 }
 
+// --------------------------------------------- craft-cache staleness checks
+
+TEST(CheckedInvariantsTest, ForwardCachedRejectsForeignEncoding) {
+  // An encoding minted by one model must not drive another (a clone's
+  // weights may have diverged since).
+  auto model = make_model();
+  auto other = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      other.encode_history(inputs.action_history, inputs.obs_history);
+  EXPECT_THROW(model.forward_cached(cache, inputs.current_obs),
+               util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, ForwardCachedRejectsBatchMismatch) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  EXPECT_THROW(model.forward_cached(cache, nn::Tensor({2, 4})),
+               util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, ForwardCachedRejectsTamperedInputSteps) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  cache.input_steps += 1;  // stale: history length no longer matches
+  EXPECT_THROW(model.forward_cached(cache, inputs.current_obs),
+               util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, ForwardCachedRejectsDecoderVariantMismatch) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  cache.attention = !cache.attention;
+  EXPECT_THROW(model.forward_cached(cache, inputs.current_obs),
+               util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, ForwardCachedRejectsNanObservation) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  inputs.current_obs[0] = kNaN;
+  EXPECT_THROW(model.forward_cached(cache, inputs.current_obs),
+               util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, EncodeHistoryRejectsNanHistory) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  inputs.obs_history[2] = kNaN;
+  EXPECT_THROW(
+      model.encode_history(inputs.action_history, inputs.obs_history),
+      util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, BackwardToCurrentWithoutForwardCachedTrips) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  nn::Tensor logits = model.forward(inputs.action_history, inputs.obs_history,
+                                    inputs.current_obs);
+  nn::Tensor grad(logits.shape());
+  grad.fill(0.5f);
+  // The last forward was the *full* path; the truncated backward has no
+  // encoding boundary to stop at.
+  EXPECT_THROW(model.backward_to_current(grad), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, FullBackwardAfterForwardCachedTrips) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  nn::Tensor logits = model.forward_cached(cache, inputs.current_obs);
+  nn::Tensor grad(logits.shape());
+  grad.fill(0.5f);
+  // The history heads never ran forward, so the full backward would be
+  // garbage — the pairing check must trip.
+  EXPECT_THROW(model.backward(grad), util::CheckFailure);
+}
+
+TEST(CheckedInvariantsTest, CleanCachedRoundTripDoesNotTrip) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  seq2seq::HistoryEncoding cache =
+      model.encode_history(inputs.action_history, inputs.obs_history);
+  nn::Tensor logits = model.forward_cached(cache, inputs.current_obs);
+  nn::Tensor grad(logits.shape());
+  grad.fill(0.25f);
+  EXPECT_NO_THROW(model.backward_to_current(grad));
+}
+
 // ------------------------------------------------------ attack budget checks
 
 TEST(CheckedInvariantsTest, OverBudgetPerturbationTrips) {

@@ -252,6 +252,51 @@ TEST_F(ExperimentsParallelTest, MetricsOnOffRowsBitIdentical) {
   }
 }
 
+// The craft-context cache (encode (A_{t-1}, S_{t-1}) once per attack,
+// iterate only the s_t branch) must be invisible in every experiment
+// artefact: all iterative-attack rows are byte-identical with the cache on
+// vs off, at experiment threads 1 and 4. The uncached path is the oracle.
+TEST_F(ExperimentsParallelTest, CraftCacheOnOffRowsBitIdentical) {
+  const bool saved = attack::craft_cache_enabled();
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  // The iterative attacks reuse one encoding the most — PGD/CW/JSMA are
+  // exactly where a cache bug would surface as drifting rows.
+  cfg.attacks = {attack::Kind::kPgd, attack::Kind::kCw, attack::Kind::kJsma};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 2000;
+
+  std::vector<std::vector<RewardPoint>> results;  // [on/off][threads 1/4]
+  for (bool enabled : {true, false}) {
+    attack::set_craft_cache_enabled(enabled);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      zoo.set_experiment_threads(threads);
+      results.push_back(run_reward_experiment(zoo, cfg, nullptr));
+    }
+  }
+  attack::set_craft_cache_enabled(saved);
+
+  const auto& reference = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].size(), reference.size()) << "variant " << v;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[v][i].attack, reference[i].attack)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].l2_budget, reference[i].l2_budget)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_reward, reference[i].mean_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].stddev_reward, reference[i].stddev_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_realised_l2, reference[i].mean_realised_l2)
+          << "variant " << v << " row " << i;
+    }
+  }
+}
+
 // The instrumentation that rode along with the experiment above actually
 // fired: crafting gradient queries and pipeline step counters are non-zero
 // after an attacked episode ran with metrics enabled.

@@ -131,6 +131,97 @@ TEST(Seq2SeqModel, ImageConfigForwardAndGradient) {
   EXPECT_TRUE(grads.current_obs.same_shape(current));
 }
 
+/// The craft-context cache contract: forward_cached over one encoding must
+/// reproduce the full forward bit for bit, and backward_to_current must
+/// return exactly backward(g).current_obs — for every decoder variant and
+/// observation kind, and across repeated reuse of the same encoding.
+void expect_cached_path_bit_identical(const Seq2SeqConfig& cfg,
+                                      std::uint64_t seed) {
+  Seq2SeqModel model(cfg, seed);
+  util::Rng rng(seed + 1);
+  const std::size_t b = 2;
+  nn::Tensor actions =
+      random_tensor({b, cfg.input_steps, cfg.actions}, rng);
+  nn::Tensor obs = random_tensor({b, cfg.input_steps, cfg.frame_size()}, rng);
+  nn::Tensor current = random_tensor({b, cfg.frame_size()}, rng);
+  nn::Tensor grad_logits =
+      random_tensor({b, cfg.output_steps, cfg.actions}, rng);
+
+  nn::Tensor full_logits = model.forward(actions, obs, current);
+  model.zero_grad();
+  nn::Tensor full_grad = model.backward(grad_logits).current_obs;
+  model.zero_grad();
+
+  HistoryEncoding cache = model.encode_history(actions, obs);
+  ASSERT_TRUE(cache.valid());
+  // Three rounds over one encoding — the PGD reuse pattern.
+  for (int round = 0; round < 3; ++round) {
+    nn::Tensor logits = model.forward_cached(cache, current);
+    ASSERT_TRUE(logits.same_shape(full_logits));
+    for (std::size_t i = 0; i < logits.size(); ++i)
+      ASSERT_EQ(logits[i], full_logits[i])
+          << "cached logit differs at " << i << " (round " << round << ")";
+    model.zero_grad();
+    nn::Tensor grad = model.backward_to_current(grad_logits);
+    model.zero_grad();
+    ASSERT_TRUE(grad.same_shape(full_grad));
+    for (std::size_t i = 0; i < grad.size(); ++i)
+      ASSERT_EQ(grad[i], full_grad[i])
+          << "cached current-obs grad differs at " << i << " (round "
+          << round << ")";
+  }
+}
+
+TEST(Seq2SeqCraftCache, PoolingVectorBitIdentical) {
+  expect_cached_path_bit_identical(tiny_config(3, 2), 11);
+}
+
+TEST(Seq2SeqCraftCache, AttentionVectorBitIdentical) {
+  Seq2SeqConfig cfg = tiny_config(3, 2);
+  cfg.use_attention = true;
+  expect_cached_path_bit_identical(cfg, 12);
+}
+
+TEST(Seq2SeqCraftCache, PoolingImageBitIdentical) {
+  Seq2SeqConfig cfg =
+      make_atari_seq2seq_config({1, 8, 8}, 3, /*n=*/2, /*m=*/2);
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  expect_cached_path_bit_identical(cfg, 13);
+}
+
+TEST(Seq2SeqCraftCache, AttentionImageBitIdentical) {
+  Seq2SeqConfig cfg =
+      make_atari_seq2seq_config({1, 8, 8}, 3, /*n=*/2, /*m=*/2);
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  cfg.use_attention = true;
+  expect_cached_path_bit_identical(cfg, 14);
+}
+
+TEST(Seq2SeqCraftCache, TruncatedBackwardAccumulatesNoHistoryGradients) {
+  // The whole point of the truncation: the history heads must see zero
+  // parameter-gradient traffic from the cached path.
+  Seq2SeqConfig cfg = tiny_config(3, 2);
+  Seq2SeqModel model(cfg, 15);
+  util::Rng rng(16);
+  nn::Tensor actions = random_tensor({1, 3, 2}, rng);
+  nn::Tensor obs = random_tensor({1, 3, 4}, rng);
+  nn::Tensor current = random_tensor({1, 4}, rng);
+  HistoryEncoding cache = model.encode_history(actions, obs);
+  model.zero_grad();
+  model.forward_cached(cache, current);
+  model.backward_to_current(random_tensor({1, 2, 2}, rng));
+  for (const auto& p : model.params()) {
+    const bool history_head = p.name.rfind("action_head", 0) == 0 ||
+                              p.name.rfind("obs_head", 0) == 0;
+    if (!history_head) continue;
+    for (std::size_t i = 0; i < p.grad->size(); ++i)
+      ASSERT_EQ((*p.grad)[i], 0.0f)
+          << p.name << " accumulated gradient through the cache boundary";
+  }
+}
+
 TEST(Seq2SeqModel, ParamsCoverAllHeads) {
   Seq2SeqModel model(tiny_config(), 1);
   bool has_action = false, has_obs = false, has_current = false,
