@@ -1,7 +1,17 @@
 // Google-benchmark microbenchmarks for the NN substrate's hot paths: the
 // layers that dominate attack-crafting latency (the attacker must craft a
 // perturbation within one environment step).
+//
+// The custom main additionally runs a direct scalar-vs-AVX2 GEMM sweep and
+// writes BENCH_gemm.json (median GFLOP/s per kernel per shape at threads=1)
+// before handing over to google-benchmark, so the dispatch speedup lands in
+// the bench trajectory as a regression baseline.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "rlattack/attack/attack.hpp"
 #include "rlattack/nn/conv2d.hpp"
@@ -45,14 +55,23 @@ void BM_DenseBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseBackward)->Arg(64)->Arg(256)->Arg(512);
 
-/// Raw kernel throughput at classic GEMM shapes, serial vs pooled: arg 0 is
-/// the square size, arg 1 the worker count (0 = RLATTACK_THREADS default).
-/// Comparing /threads:1 rows against the others shows the pool speedup in
-/// the CSV output.
+/// Raw kernel throughput at classic GEMM shapes, serial vs pooled and
+/// scalar vs SIMD: arg 0 is the square size, arg 1 the worker count (0 =
+/// RLATTACK_THREADS default), arg 2 the micro-kernel (0 = scalar, 1 = avx2).
+/// Comparing /threads:1 rows against the others shows the pool speedup, and
+/// simd:1 against simd:0 the dispatch speedup, in the CSV output.
 void BM_SgemmSquare(benchmark::State& state) {
   util::Rng rng(7);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto kernel = static_cast<nn::kernels::SimdKernel>(state.range(2));
+  if (kernel == nn::kernels::SimdKernel::kAvx2 &&
+      !nn::kernels::avx2_available()) {
+    state.SkipWithError("AVX2 not available on this host");
+    return;
+  }
+  const nn::kernels::SimdKernel saved = nn::kernels::active_simd_kernel();
+  nn::kernels::set_simd_kernel(kernel);
   util::ThreadPool::reset_global(threads);
   nn::Tensor a = random_tensor({n, n}, rng);
   nn::Tensor b = random_tensor({n, n}, rng);
@@ -65,15 +84,19 @@ void BM_SgemmSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
   util::ThreadPool::reset_global(0);
+  nn::kernels::set_simd_kernel(saved);
 }
 BENCHMARK(BM_SgemmSquare)
-    ->ArgNames({"n", "threads"})
-    ->Args({256, 1})
-    ->Args({256, 0})
-    ->Args({512, 1})
-    ->Args({512, 0})
-    ->Args({1024, 1})
-    ->Args({1024, 0});
+    ->ArgNames({"n", "threads", "simd"})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 0, 1})
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1})
+    ->Args({512, 0, 1})
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 0, 1});
 
 void BM_Conv2DForward(benchmark::State& state) {
   util::Rng rng(2);
@@ -128,6 +151,125 @@ void BM_FgsmCraftPongScale(benchmark::State& state) {
 }
 BENCHMARK(BM_FgsmCraftPongScale);
 
+/// One row of the direct dispatch sweep: median per-call latency of C = A B
+/// at threads=1 under each micro-kernel. Squares cover the classic shapes;
+/// the rectangular rows mirror the seq2seq hot paths (flattened key
+/// projection [B·n,H]·[H,E]ᵀ scale and the LSTM gate block [B,4H]).
+struct GemmPoint {
+  std::size_t m = 0, n = 0, k = 0;
+  double scalar_us = 0.0;
+  double avx2_us = 0.0;
+  double gflops(double us) const {
+    return us > 0.0 ? 2.0 * static_cast<double>(m * n * k) / (us * 1e3) : 0.0;
+  }
+  double speedup() const {
+    return avx2_us > 0.0 ? scalar_us / avx2_us : 0.0;
+  }
+};
+
+double gemm_latency_us(nn::kernels::SimdKernel kernel, std::size_t m,
+                       std::size_t n, std::size_t k) {
+  nn::kernels::set_simd_kernel(kernel);
+  util::Rng rng(11);
+  nn::Tensor a = random_tensor({m, k}, rng);
+  nn::Tensor b = random_tensor({k, n}, rng);
+  nn::Tensor c({m, n});
+  // Size the inner repeat count so every sample is a few ms even at the
+  // smallest shapes; median of kSamples absorbs scheduler noise.
+  const double flop = 2.0 * static_cast<double>(m * n * k);
+  const auto iters = std::max<std::size_t>(
+      1, static_cast<std::size_t>(2.0e8 / flop));
+  constexpr int kWarmup = 2;
+  constexpr int kSamples = 9;
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  for (int s = 0; s < kWarmup + kSamples; ++s) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      nn::kernels::sgemm(nn::kernels::Trans::kNo, nn::kernels::Trans::kNo, m,
+                         n, k, a.raw(), k, b.raw(), n, c.raw(), n, false);
+      benchmark::DoNotOptimize(c.raw());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    if (s >= kWarmup)
+      samples.push_back(
+          std::chrono::duration<double, std::micro>(end - start).count() /
+          static_cast<double>(iters));
+  }
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<long>(samples.size() / 2),
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+void write_gemm_json(const std::vector<GemmPoint>& points) {
+  std::FILE* out = std::fopen("BENCH_gemm.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro_nn: cannot write BENCH_gemm.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_micro_nn\",\n");
+  std::fprintf(out, "  \"threads\": 1,\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const GemmPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"m\": %zu, \"n\": %zu, \"k\": %zu, "
+                 "\"scalar_us\": %.2f, \"scalar_gflops\": %.1f, "
+                 "\"avx2_us\": %.2f, \"avx2_gflops\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 p.m, p.n, p.k, p.scalar_us, p.gflops(p.scalar_us), p.avx2_us,
+                 p.gflops(p.avx2_us), p.speedup(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+/// Runs the sweep and emits BENCH_gemm.json. Skipped (no file written) when
+/// the host lacks AVX2 — a one-kernel sweep carries no dispatch signal.
+void run_gemm_sweep() {
+  if (!nn::kernels::avx2_available()) {
+    std::printf("gemm sweep skipped: AVX2 not available on this host\n");
+    return;
+  }
+  const nn::kernels::SimdKernel saved = nn::kernels::active_simd_kernel();
+  util::ThreadPool::reset_global(1);
+  const std::size_t shapes[][3] = {
+      {64, 64, 64},   {128, 128, 128}, {256, 256, 256},
+      {512, 512, 512}, {1024, 1024, 1024},
+      {320, 48, 48},  // flattened key projection, B=32 n=10 H=E=48 scale
+      {32, 192, 48},  // LSTM gate block, B=32 4H=192
+  };
+  std::vector<GemmPoint> points;
+  for (const auto& s : shapes) {
+    GemmPoint p;
+    p.m = s[0];
+    p.n = s[1];
+    p.k = s[2];
+    p.scalar_us = gemm_latency_us(nn::kernels::SimdKernel::kScalar, p.m, p.n,
+                                  p.k);
+    p.avx2_us = gemm_latency_us(nn::kernels::SimdKernel::kAvx2, p.m, p.n,
+                                p.k);
+    std::printf(
+        "sgemm %4zux%-4zux%-4zu scalar=%8.2fus (%5.1f GF/s) "
+        "avx2=%8.2fus (%5.1f GF/s)  %5.2fx\n",
+        p.m, p.n, p.k, p.scalar_us, p.gflops(p.scalar_us), p.avx2_us,
+        p.gflops(p.avx2_us), p.speedup());
+    std::fflush(stdout);
+    points.push_back(p);
+  }
+  util::ThreadPool::reset_global(0);
+  nn::kernels::set_simd_kernel(saved);
+  write_gemm_json(points);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_gemm_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

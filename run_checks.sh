@@ -20,6 +20,9 @@
 #   metrics  default build + one short instrumented experiment with
 #            RLATTACK_METRICS_OUT set; validates the exported METRICS JSON
 #            parses and carries the expected kernel/attack/span keys
+#   simd     default build + the kernel/attention parity suites run twice,
+#            once under RLATTACK_SIMD=avx2 and once under RLATTACK_SIMD=scalar;
+#            SKIPPED (not failed) when the host CPU lacks AVX2/FMA
 #
 # Exit status: non-zero if any selected config fails. A skipped tidy step
 # (missing tool) does not fail the run; CHECKS.json records it as "skipped"
@@ -29,7 +32,7 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics simd)
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=("${ALL_CONFIGS[@]}")
@@ -82,6 +85,7 @@ for section, key in [
     ("counters", "nn.gemm.calls"),
     ("counters", "attack.queries.gradient"),
     ("counters", "pipeline.steps"),
+    ("gauges", "nn.gemm.kernel"),
     ("spans", "seq2seq.forward"),
     ("spans", "phase.perturb"),
 ]:
@@ -96,7 +100,7 @@ EOF
     # Fallback: key-presence grep when python3 is unavailable.
     local key
     for key in nn.gemm.flops attack.queries.gradient pipeline.steps \
-               seq2seq.forward phase.perturb; do
+               nn.gemm.kernel seq2seq.forward phase.perturb; do
       grep -q "\"${key}\"" "${json}" || {
         echo "METRICS export missing ${key}"; return 1; }
     done
@@ -198,6 +202,34 @@ run_config() {
         run_logged "${log}" validate_metrics_json "${metrics_json}" || rc=1
       fi
       DETAIL[${name}]="instrumented experiment + METRICS JSON key validation"
+      ;;
+    simd)
+      # Dispatch parity: the kernel/attention parity suites must pass when
+      # the GEMM micro-kernel is forced to either implementation. Each
+      # RLATTACK_SIMD value is a separate process because the choice is
+      # resolved once at the first GEMM call and cached.
+      if ! grep -q 'avx2' /proc/cpuinfo 2>/dev/null || \
+         ! grep -q 'fma' /proc/cpuinfo 2>/dev/null; then
+        STATUS[${name}]="skipped"
+        DETAIL[${name}]="host CPU lacks AVX2/FMA"
+        SECONDS_TAKEN[${name}]=0
+        echo "host CPU lacks AVX2/FMA; step skipped" >>"${log}"
+        return 0
+      fi
+      configure_build simd build "${log}" || rc=1
+      if [ ${rc} -eq 0 ]; then
+        local mode
+        for mode in avx2 scalar; do
+          echo "--- RLATTACK_SIMD=${mode} ---" >>"${log}"
+          RLATTACK_SIMD="${mode}" run_logged "${log}" \
+            build/tests/kernels_test \
+            --gtest_filter='*SimdDispatch*:*SgemmParity*:*KernelHelpers*' || rc=1
+          RLATTACK_SIMD="${mode}" run_logged "${log}" \
+            build/tests/seq2seq_test \
+            --gtest_filter='Seq2SeqAttentionGemm*' || rc=1
+        done
+      fi
+      DETAIL[${name}]="kernel/attention parity suites under RLATTACK_SIMD=avx2 and =scalar"
       ;;
     *)
       echo "run_checks.sh: unknown config '${name}'" >&2

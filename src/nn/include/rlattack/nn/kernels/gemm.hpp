@@ -7,6 +7,10 @@
 // Determinism: for fixed operand values the result is bit-identical for any
 // RLATTACK_THREADS setting — the pool partitions output rows (each row's
 // accumulation order is fixed by the K-blocking, not by the thread count).
+// The guarantee holds *within* a SIMD kernel choice: the scalar and AVX2
+// micro-kernels accumulate every output element over K in the same order,
+// but the AVX2 kernel uses fused multiply-add (one rounding per term
+// instead of two), so results across kernels agree only to rounding.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +18,32 @@
 namespace rlattack::nn::kernels {
 
 enum class Trans : bool { kNo = false, kYes = true };
+
+/// Which micro-kernel `sgemm` runs. kScalar is the portable cache-blocked
+/// kernel (compiler-autovectorised, no FMA); kAvx2 is the hand-packed
+/// 6x16 register-tiled AVX2/FMA kernel, available only when both the build
+/// and the host CPU support AVX2+FMA.
+enum class SimdKernel : int { kScalar = 0, kAvx2 = 1 };
+
+/// True when the AVX2 kernel was compiled in (x86 toolchain with
+/// -mavx2/-mfma support) *and* the running CPU reports AVX2+FMA.
+bool avx2_available() noexcept;
+
+/// The kernel the next sgemm call will use. Resolved once on first use:
+/// the RLATTACK_SIMD environment variable ("avx2" | "scalar" | "auto")
+/// wins when set and satisfiable; otherwise the best available kernel is
+/// picked by cpuid. The choice is exported as the `nn.gemm.kernel` gauge
+/// (0 = scalar, 1 = avx2).
+SimdKernel active_simd_kernel() noexcept;
+
+/// Overrides the kernel choice at runtime (tests and the parity matrix in
+/// run_checks.sh flip this per run). Throws std::invalid_argument when
+/// asked for kAvx2 on a host without it.
+void set_simd_kernel(SimdKernel kernel);
+
+/// "scalar" / "avx2" — stable names shared by RLATTACK_SIMD parsing, test
+/// output and bench JSON.
+const char* simd_kernel_name(SimdKernel kernel) noexcept;
 
 /// C = op(A) * op(B), or C += op(A) * op(B) when `accumulate` (backward
 /// passes += into gradient buffers).

@@ -11,23 +11,32 @@ namespace rlattack::nn {
 
 class Optimizer {
  public:
-  explicit Optimizer(Layer& model) : params_(model.params()) {}
+  explicit Optimizer(Layer& model) : owned_(model.params()), params_(&owned_) {}
   /// Binds to an explicit parameter set (for multi-input models that are
   /// not a single Layer, e.g. the seq2seq approximator).
-  explicit Optimizer(std::vector<Param> params) : params_(std::move(params)) {}
+  explicit Optimizer(std::vector<Param> params)
+      : owned_(std::move(params)), params_(&owned_) {}
+  /// Binds to an externally owned parameter vector without copying it —
+  /// pass a model's cached params() span (e.g. Seq2SeqModel) so the
+  /// optimizer and the model share one set of views. The vector and the
+  /// tensors it aliases must outlive the optimizer and must not be moved or
+  /// resized afterwards (the same no-move contract the views themselves
+  /// carry).
+  explicit Optimizer(const std::vector<Param>* params) : params_(params) {}
   virtual ~Optimizer() = default;
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  /// Applies one update from the accumulated gradients, then zeroes them.
-  void step() {
-    apply();
-    zero_grad();
-  }
+  /// Applies one update from the accumulated gradients and leaves them
+  /// zeroed. The update kernels fold the zeroing into their parameter sweep
+  /// (each gradient element is set to zero right after its last read), so
+  /// there is no second pass over the gradient tensors.
+  void step() { apply(); }
 
-  /// Zeroes every bound gradient tensor.
+  /// Zeroes every bound gradient tensor (for discarding accumulated
+  /// gradients without an update; step() already leaves them zeroed).
   void zero_grad() {
-    for (Param& p : params_) p.grad->zero();
+    for (const Param& p : *params_) p.grad->zero();
   }
 
   /// Scales all gradients so their global L2 norm is at most `max_norm`.
@@ -35,10 +44,11 @@ class Optimizer {
 
  protected:
   virtual void apply() = 0;
-  std::vector<Param>& params() noexcept { return params_; }
+  const std::vector<Param>& params() const noexcept { return *params_; }
 
  private:
-  std::vector<Param> params_;
+  std::vector<Param> owned_;
+  const std::vector<Param>* params_;
 };
 
 /// Stochastic gradient descent with optional classical momentum.
@@ -47,6 +57,7 @@ class Sgd final : public Optimizer {
  public:
   Sgd(Layer& model, float lr, float momentum = 0.0f);
   Sgd(std::vector<Param> params, float lr, float momentum = 0.0f);
+  Sgd(const std::vector<Param>* params, float lr, float momentum = 0.0f);
 
   float learning_rate() const noexcept { return lr_; }
   void set_learning_rate(float lr) noexcept { lr_ = lr; }
@@ -64,6 +75,8 @@ class Adam final : public Optimizer {
   Adam(Layer& model, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
        float eps = 1e-8f);
   Adam(std::vector<Param> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  Adam(const std::vector<Param>* params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
 
   float learning_rate() const noexcept { return lr_; }

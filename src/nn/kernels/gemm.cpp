@@ -1,74 +1,32 @@
 #include "rlattack/nn/kernels/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "gemm_internal.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/util/log.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::nn::kernels {
 
-namespace {
+using internal::kKC;
+using internal::kMC;
+using internal::kMR;
+using internal::kNC;
 
-// Pre-registered telemetry handles (one registry lookup at load, pointer
-// dereference + relaxed fetch_add per kernel call). Flops use the standard
-// 2*m*n*k / 2*n conventions.
-struct KernelMetrics {
-  obs::Counter& gemm_calls =
-      obs::MetricsRegistry::global().counter("nn.gemm.calls");
-  obs::Counter& gemm_flops =
-      obs::MetricsRegistry::global().counter("nn.gemm.flops");
-  obs::Counter& axpy_calls =
-      obs::MetricsRegistry::global().counter("nn.axpy.calls");
-  obs::Counter& axpy_flops =
-      obs::MetricsRegistry::global().counter("nn.axpy.flops");
-};
-KernelMetrics g_metrics;
-
-// Cache blocking: the packed B panel (kKC x kNC = 128 KiB) and A panel
-// (kMC x kKC = 64 KiB) both sit in L2; the micro-kernel accumulators
-// (kMR x kNC = 4 KiB) stay in L1/registers. Packing makes the inner loop a
-// unit-stride multiply-add over independent output columns, which the
-// compiler vectorises without needing FP reassociation (-ffast-math).
-constexpr std::size_t kMC = 64;
-constexpr std::size_t kKC = 256;
-constexpr std::size_t kNC = 128;
-constexpr std::size_t kMR = 4;
-
-// Packs the op(A) sub-block rows [i0, i0+mb) x cols [p0, p0+kb) into a dense
-// row-major mb x kb panel.
-void pack_a(Trans ta, const float* a, std::size_t lda, std::size_t i0,
-            std::size_t p0, std::size_t mb, std::size_t kb, float* ap) {
-  if (ta == Trans::kNo) {
-    for (std::size_t i = 0; i < mb; ++i)
-      std::memcpy(ap + i * kb, a + (i0 + i) * lda + p0, kb * sizeof(float));
-  } else {
-    for (std::size_t i = 0; i < mb; ++i)
-      for (std::size_t p = 0; p < kb; ++p)
-        ap[i * kb + p] = a[(p0 + p) * lda + (i0 + i)];
-  }
-}
-
-// Packs the op(B) sub-block rows [p0, p0+kb) x cols [j0, j0+nb) into a dense
-// row-major kb x nb panel.
-void pack_b(Trans tb, const float* b, std::size_t ldb, std::size_t p0,
-            std::size_t j0, std::size_t kb, std::size_t nb, float* bp) {
-  if (tb == Trans::kNo) {
-    for (std::size_t p = 0; p < kb; ++p)
-      std::memcpy(bp + p * nb, b + (p0 + p) * ldb + j0, nb * sizeof(float));
-  } else {
-    for (std::size_t p = 0; p < kb; ++p)
-      for (std::size_t j = 0; j < nb; ++j)
-        bp[p * nb + j] = b[(j0 + j) * ldb + (p0 + p)];
-  }
-}
+namespace internal {
 
 // mb x nb += (or =) packed mb x kb panel times packed kb x nb panel.
 // `store` overwrites C (first K block without accumulate); otherwise adds.
-void micro_kernel(std::size_t mb, std::size_t nb, std::size_t kb,
-                  const float* ap, const float* bp, float* c, std::size_t ldc,
-                  bool store) {
+void micro_kernel_scalar(std::size_t mb, std::size_t nb, std::size_t kb,
+                         const float* ap, const float* bp, float* c,
+                         std::size_t ldc, bool store) {
   float acc0[kNC], acc1[kNC], acc2[kNC], acc3[kNC];
   std::size_t i = 0;
   for (; i + kMR <= mb; i += kMR) {
@@ -108,20 +66,78 @@ void micro_kernel(std::size_t mb, std::size_t nb, std::size_t kb,
     }
   }
   for (; i < mb; ++i) {  // remainder rows, one at a time
-    for (std::size_t j = 0; j < nb; ++j) acc0[j] = 0.0f;
+    float acc[kNC];
+    for (std::size_t j = 0; j < nb; ++j) acc[j] = 0.0f;
     const float* a0 = ap + i * kb;
     for (std::size_t p = 0; p < kb; ++p) {
       const float* bpr = bp + p * nb;
       const float s0 = a0[p];
-      for (std::size_t j = 0; j < nb; ++j) acc0[j] += s0 * bpr[j];
+      for (std::size_t j = 0; j < nb; ++j) acc[j] += s0 * bpr[j];
     }
     float* c0 = c + i * ldc;
     if (store) {
-      for (std::size_t j = 0; j < nb; ++j) c0[j] = acc0[j];
+      for (std::size_t j = 0; j < nb; ++j) c0[j] = acc[j];
     } else {
-      for (std::size_t j = 0; j < nb; ++j) c0[j] += acc0[j];
+      for (std::size_t j = 0; j < nb; ++j) c0[j] += acc[j];
     }
   }
+}
+
+}  // namespace internal
+
+namespace {
+
+// Pre-registered telemetry handles (one registry lookup at load, pointer
+// dereference + relaxed fetch_add per kernel call). Flops use the standard
+// 2*m*n*k / 2*n conventions.
+struct KernelMetrics {
+  obs::Counter& gemm_calls =
+      obs::MetricsRegistry::global().counter("nn.gemm.calls");
+  obs::Counter& gemm_flops =
+      obs::MetricsRegistry::global().counter("nn.gemm.flops");
+  obs::Counter& axpy_calls =
+      obs::MetricsRegistry::global().counter("nn.axpy.calls");
+  obs::Counter& axpy_flops =
+      obs::MetricsRegistry::global().counter("nn.axpy.flops");
+};
+KernelMetrics g_metrics;
+
+void publish_kernel_choice(SimdKernel kernel) {
+  obs::MetricsRegistry::global()
+      .gauge("nn.gemm.kernel")
+      .set(static_cast<double>(static_cast<int>(kernel)));
+}
+
+// -1 = unresolved; otherwise holds a SimdKernel value. Resolution is
+// idempotent (env + cpuid are stable), so a racing double-resolve is benign.
+std::atomic<int> g_kernel{-1};
+
+SimdKernel resolve_simd_kernel() {
+  const SimdKernel best = avx2_available() ? SimdKernel::kAvx2
+                                           : SimdKernel::kScalar;
+  const char* env = std::getenv("RLATTACK_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  const std::string value(env);
+  if (value == "auto") return best;
+  if (value == "scalar") return SimdKernel::kScalar;
+  if (value == "avx2") {
+    if (avx2_available()) return SimdKernel::kAvx2;
+    util::log_warn("RLATTACK_SIMD=avx2 requested but AVX2/FMA is ",
+                   "unavailable on this host/build; using scalar kernel");
+    return SimdKernel::kScalar;
+  }
+  util::log_warn("unknown RLATTACK_SIMD value '", value,
+                 "' (expected avx2|scalar|auto); auto-selecting");
+  return best;
+}
+
+internal::MicroKernelFn micro_kernel_for(SimdKernel kernel) noexcept {
+#if defined(RLATTACK_HAVE_AVX2_KERNEL)
+  if (kernel == SimdKernel::kAvx2) return internal::micro_kernel_avx2;
+#else
+  (void)kernel;
+#endif
+  return internal::micro_kernel_scalar;
 }
 
 // Full blocked GEMM restricted to output rows [m0, m1). Each pool chunk gets
@@ -130,7 +146,7 @@ void micro_kernel(std::size_t mb, std::size_t nb, std::size_t kb,
 void sgemm_rows(Trans ta, Trans tb, std::size_t m0, std::size_t m1,
                 std::size_t n, std::size_t k, const float* a, std::size_t lda,
                 const float* b, std::size_t ldb, float* c, std::size_t ldc,
-                bool accumulate) {
+                bool accumulate, internal::MicroKernelFn kernel) {
   // Per-thread packing scratch, reused across calls (no per-call allocation
   // once warmed up).
   thread_local std::vector<float> ap(kMC * kKC);
@@ -140,18 +156,49 @@ void sgemm_rows(Trans ta, Trans tb, std::size_t m0, std::size_t m1,
     for (std::size_t pc = 0; pc < k; pc += kKC) {
       const std::size_t kb = std::min(kKC, k - pc);
       const bool store = pc == 0 && !accumulate;
-      pack_b(tb, b, ldb, pc, jc, kb, nb, bp.data());
+      internal::pack_b(tb, b, ldb, pc, jc, kb, nb, bp.data());
       for (std::size_t ic = m0; ic < m1; ic += kMC) {
         const std::size_t mb = std::min(kMC, m1 - ic);
-        pack_a(ta, a, lda, ic, pc, mb, kb, ap.data());
-        micro_kernel(mb, nb, kb, ap.data(), bp.data(), c + ic * ldc + jc, ldc,
-                     store);
+        internal::pack_a(ta, a, lda, ic, pc, mb, kb, ap.data());
+        kernel(mb, nb, kb, ap.data(), bp.data(), c + ic * ldc + jc, ldc,
+               store);
       }
     }
   }
 }
 
 }  // namespace
+
+bool avx2_available() noexcept {
+#if defined(RLATTACK_HAVE_AVX2_KERNEL)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdKernel active_simd_kernel() noexcept {
+  int current = g_kernel.load(std::memory_order_acquire);
+  if (current < 0) {
+    const SimdKernel resolved = resolve_simd_kernel();
+    publish_kernel_choice(resolved);
+    g_kernel.store(static_cast<int>(resolved), std::memory_order_release);
+    return resolved;
+  }
+  return static_cast<SimdKernel>(current);
+}
+
+void set_simd_kernel(SimdKernel kernel) {
+  if (kernel == SimdKernel::kAvx2 && !avx2_available())
+    throw std::invalid_argument(
+        "set_simd_kernel(kAvx2): AVX2/FMA unavailable on this host/build");
+  publish_kernel_choice(kernel);
+  g_kernel.store(static_cast<int>(kernel), std::memory_order_release);
+}
+
+const char* simd_kernel_name(SimdKernel kernel) noexcept {
+  return kernel == SimdKernel::kAvx2 ? "avx2" : "scalar";
+}
 
 void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
            const float* a, std::size_t lda, const float* b, std::size_t ldb,
@@ -167,11 +214,13 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
         std::memset(c + i * ldc, 0, n * sizeof(float));
     return;
   }
+  const internal::MicroKernelFn kernel = micro_kernel_for(active_simd_kernel());
   // Parallelise over output rows; below ~8 row-blocks' worth of work the
   // dispatch overhead outweighs the win and the loop runs inline anyway.
   util::ThreadPool::global().parallel_for(
       m, /*grain=*/kMR * 2, [&](std::size_t r0, std::size_t r1) {
-        sgemm_rows(ta, tb, r0, r1, n, k, a, lda, b, ldb, c, ldc, accumulate);
+        sgemm_rows(ta, tb, r0, r1, n, k, a, lda, b, ldb, c, ldc, accumulate,
+                   kernel);
       });
 }
 

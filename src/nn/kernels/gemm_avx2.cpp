@@ -1,0 +1,130 @@
+// Hand-packed AVX2/FMA micro-kernel. This is the only TU compiled with
+// -mavx2 -mfma (see src/nn/CMakeLists.txt): every symbol here is reached
+// strictly behind the runtime cpuid gate in gemm.cpp, so the rest of the
+// binary keeps its baseline ISA and RLATTACK_NATIVE semantics.
+//
+// Register tiling: 6 output rows x 16 output columns per inner block —
+// 12 ymm accumulators + 2 B-row vectors + 1 broadcast A value = 15 of the
+// 16 architectural ymm registers. Column tails run 8-wide, then masked.
+//
+// Determinism: each output element accumulates over p = 0..kb-1 in ascending
+// order into a fresh zero accumulator, with the same per-element instruction
+// sequence in the 6-row, remainder-row, and masked-tail paths (the column
+// chunk an element lands in depends only on the panel width, never on the
+// row partition) — so results are bit-identical for any RLATTACK_THREADS.
+#if defined(RLATTACK_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "gemm_internal.hpp"
+
+namespace rlattack::nn::kernels::internal {
+
+namespace {
+
+// Sliding-window tail masks: for t in [1, 7] remaining lanes, the 8 ints at
+// kTailMask + (8 - t) select the first t lanes.
+alignas(32) constexpr std::int32_t kTailMask[16] = {-1, -1, -1, -1, -1, -1,
+                                                   -1, -1, 0,  0,  0,  0,
+                                                   0,  0,  0,  0};
+
+// R rows of the packed A panel times the full kb x nb packed B panel, into
+// R rows of C. R is the register-tile height (6) or a remainder count.
+template <int R>
+void rows_block(std::size_t nb, std::size_t kb, const float* ap,
+                const float* bp, float* c, std::size_t ldc, bool store) {
+  std::size_t j = 0;
+  for (; j + 16 <= nb; j += 16) {
+    __m256 acc_lo[R], acc_hi[R];
+    for (int r = 0; r < R; ++r) {
+      acc_lo[r] = _mm256_setzero_ps();
+      acc_hi[r] = _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float* bpr = bp + p * nb + j;
+      const __m256 b0 = _mm256_loadu_ps(bpr);
+      const __m256 b1 = _mm256_loadu_ps(bpr + 8);
+      for (int r = 0; r < R; ++r) {
+        const __m256 av = _mm256_broadcast_ss(ap + r * kb + p);
+        acc_lo[r] = _mm256_fmadd_ps(av, b0, acc_lo[r]);
+        acc_hi[r] = _mm256_fmadd_ps(av, b1, acc_hi[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      float* cr = c + static_cast<std::size_t>(r) * ldc + j;
+      if (store) {
+        _mm256_storeu_ps(cr, acc_lo[r]);
+        _mm256_storeu_ps(cr + 8, acc_hi[r]);
+      } else {
+        _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc_lo[r]));
+        _mm256_storeu_ps(cr + 8,
+                         _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc_hi[r]));
+      }
+    }
+  }
+  for (; j + 8 <= nb; j += 8) {
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < kb; ++p) {
+      const __m256 bv = _mm256_loadu_ps(bp + p * nb + j);
+      for (int r = 0; r < R; ++r)
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + r * kb + p), bv,
+                                 acc[r]);
+    }
+    for (int r = 0; r < R; ++r) {
+      float* cr = c + static_cast<std::size_t>(r) * ldc + j;
+      if (store)
+        _mm256_storeu_ps(cr, acc[r]);
+      else
+        _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc[r]));
+    }
+  }
+  if (j < nb) {
+    const std::size_t tail = nb - j;
+    const __m256i mask = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kTailMask + (8 - tail)));
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < kb; ++p) {
+      const __m256 bv = _mm256_maskload_ps(bp + p * nb + j, mask);
+      for (int r = 0; r < R; ++r)
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + r * kb + p), bv,
+                                 acc[r]);
+    }
+    for (int r = 0; r < R; ++r) {
+      float* cr = c + static_cast<std::size_t>(r) * ldc + j;
+      if (store)
+        _mm256_maskstore_ps(cr, mask, acc[r]);
+      else
+        _mm256_maskstore_ps(
+            cr, mask, _mm256_add_ps(_mm256_maskload_ps(cr, mask), acc[r]));
+    }
+  }
+}
+
+}  // namespace
+
+void micro_kernel_avx2(std::size_t mb, std::size_t nb, std::size_t kb,
+                       const float* ap, const float* bp, float* c,
+                       std::size_t ldc, bool store) {
+  constexpr std::size_t kRows = 6;
+  std::size_t i = 0;
+  for (; i + kRows <= mb; i += kRows)
+    rows_block<6>(nb, kb, ap + i * kb, bp, c + i * ldc, ldc, store);
+  const float* at = ap + i * kb;
+  float* ct = c + i * ldc;
+  switch (mb - i) {
+    case 5: rows_block<5>(nb, kb, at, bp, ct, ldc, store); break;
+    case 4: rows_block<4>(nb, kb, at, bp, ct, ldc, store); break;
+    case 3: rows_block<3>(nb, kb, at, bp, ct, ldc, store); break;
+    case 2: rows_block<2>(nb, kb, at, bp, ct, ldc, store); break;
+    case 1: rows_block<1>(nb, kb, at, bp, ct, ldc, store); break;
+    default: break;
+  }
+}
+
+}  // namespace rlattack::nn::kernels::internal
+
+#endif  // RLATTACK_HAVE_AVX2_KERNEL

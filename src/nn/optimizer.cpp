@@ -4,15 +4,27 @@
 
 namespace rlattack::nn {
 
+namespace {
+
+/// Shared moment-buffer setup for the stateful optimizers.
+std::vector<Tensor> make_state_like(const std::vector<Param>& params) {
+  std::vector<Tensor> state;
+  state.reserve(params.size());
+  for (const Param& p : params) state.emplace_back(p.value->shape());
+  return state;
+}
+
+}  // namespace
+
 void Optimizer::clip_grad_norm(float max_norm) {
   double s = 0.0;
-  for (Param& p : params_)
+  for (const Param& p : *params_)
     for (float x : p.grad->data())
       s += static_cast<double>(x) * static_cast<double>(x);
   const double norm = std::sqrt(s);
   if (norm <= static_cast<double>(max_norm) || norm == 0.0) return;
   const float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
-  for (Param& p : params_) (*p.grad) *= scale;
+  for (const Param& p : *params_) (*p.grad) *= scale;
 }
 
 Sgd::Sgd(Layer& model, float lr, float momentum)
@@ -20,12 +32,16 @@ Sgd::Sgd(Layer& model, float lr, float momentum)
 
 Sgd::Sgd(std::vector<Param> bound, float lr, float momentum)
     : Optimizer(std::move(bound)), lr_(lr), momentum_(momentum) {
-  if (momentum_ != 0.0f)
-    for (Param& p : params()) velocity_.emplace_back(p.value->shape());
+  if (momentum_ != 0.0f) velocity_ = make_state_like(params());
+}
+
+Sgd::Sgd(const std::vector<Param>* bound, float lr, float momentum)
+    : Optimizer(bound), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) velocity_ = make_state_like(params());
 }
 
 void Sgd::apply() {
-  auto& ps = params();
+  const auto& ps = params();
   for (std::size_t i = 0; i < ps.size(); ++i) {
     auto vd = ps[i].value->data();
     auto gd = ps[i].grad->data();
@@ -34,9 +50,13 @@ void Sgd::apply() {
       for (std::size_t j = 0; j < vd.size(); ++j) {
         md[j] = momentum_ * md[j] + gd[j];
         vd[j] -= lr_ * md[j];
+        gd[j] = 0.0f;
       }
     } else {
-      for (std::size_t j = 0; j < vd.size(); ++j) vd[j] -= lr_ * gd[j];
+      for (std::size_t j = 0; j < vd.size(); ++j) {
+        vd[j] -= lr_ * gd[j];
+        gd[j] = 0.0f;
+      }
     }
   }
 }
@@ -51,17 +71,22 @@ Adam::Adam(std::vector<Param> bound, float lr, float beta1, float beta2,
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps) {
-  for (Param& p : params()) {
-    m_.emplace_back(p.value->shape());
-    v_.emplace_back(p.value->shape());
-  }
+  m_ = make_state_like(params());
+  v_ = make_state_like(params());
+}
+
+Adam::Adam(const std::vector<Param>* bound, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(bound), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_ = make_state_like(params());
+  v_ = make_state_like(params());
 }
 
 void Adam::apply() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
-  auto& ps = params();
+  const auto& ps = params();
   for (std::size_t i = 0; i < ps.size(); ++i) {
     auto vd = ps[i].value->data();
     auto gd = ps[i].grad->data();
@@ -70,6 +95,7 @@ void Adam::apply() {
     for (std::size_t j = 0; j < vd.size(); ++j) {
       md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
       sd[j] = beta2_ * sd[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      gd[j] = 0.0f;
       const float mhat = md[j] / bc1;
       const float vhat = sd[j] / bc2;
       vd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);

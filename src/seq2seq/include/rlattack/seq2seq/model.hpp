@@ -28,6 +28,14 @@
 
 namespace rlattack::seq2seq {
 
+/// Whether the attention decoder runs its batched-GEMM formulation (default)
+/// or the retained scalar per-(b, t) loops. The two are bit-identical under
+/// the scalar GEMM kernel (tests/seq2seq_test.cpp pins this); the switch is
+/// the debugging escape hatch, initialised from RLATTACK_ATTN_GEMM
+/// ("0" disables, anything else — including unset — enables).
+bool attention_gemm_enabled() noexcept;
+void set_attention_gemm_enabled(bool enabled) noexcept;
+
 struct Seq2SeqConfig {
   std::size_t input_steps = 10;   ///< n — history length
   std::size_t output_steps = 1;   ///< m — 1 ("action") or 10 ("Seq")

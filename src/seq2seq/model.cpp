@@ -1,5 +1,8 @@
 #include "rlattack/seq2seq/model.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -10,9 +13,30 @@
 #include "rlattack/nn/conv2d.hpp"
 #include "rlattack/nn/dense.hpp"
 #include "rlattack/nn/init.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
 #include "rlattack/nn/lstm.hpp"
 
 namespace rlattack::seq2seq {
+
+namespace {
+
+using nn::kernels::sgemm;
+using nn::kernels::Trans;
+
+std::atomic<bool> g_attention_gemm = [] {
+  const char* env = std::getenv("RLATTACK_ATTN_GEMM");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}();
+
+}  // namespace
+
+bool attention_gemm_enabled() noexcept {
+  return g_attention_gemm.load(std::memory_order_relaxed);
+}
+
+void set_attention_gemm_enabled(bool enabled) noexcept {
+  g_attention_gemm.store(enabled, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -236,6 +260,12 @@ nn::Tensor Seq2SeqModel::project_keys(const nn::Tensor& encoder) const {
   const std::size_t e = config_.embed;
   const std::size_t h = config_.lstm_hidden;
   nn::Tensor keys({b_count, n, e});
+  if (attention_gemm_enabled()) {
+    // One GEMM over the flattened [B*n, H] encoder states: K = E W_a^T.
+    sgemm(Trans::kNo, Trans::kYes, b_count * n, e, h, encoder.raw(), h,
+          attn_w_.raw(), h, keys.raw(), e, false);
+    return keys;
+  }
   for (std::size_t b = 0; b < b_count; ++b)
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t k = 0; k < e; ++k) {
@@ -261,6 +291,38 @@ nn::Tensor Seq2SeqModel::decode_attention(const nn::Tensor& embedding,
   // Attention weights and contexts.
   cached_alpha_ = nn::Tensor({b_count, m, n});
   nn::Tensor concat({b_count, m, e + h});
+  if (attention_gemm_enabled()) {
+    const std::size_t eh = e + h;
+    for (std::size_t b = 0; b < b_count; ++b) {
+      const float* dec_b = cached_decoder_.raw() + b * m * e;
+      const float* enc_b = encoder.raw() + b * n * h;
+      const float* key_b = keys.raw() + b * n * e;
+      float* alpha_b = cached_alpha_.raw() + b * m * n;
+      float* concat_b = concat.raw() + b * m * eh;
+      // scores[t, i] = D_t . K_i, written straight into the alpha tensor and
+      // softmaxed in place per row.
+      sgemm(Trans::kNo, Trans::kYes, m, n, e, dec_b, e, key_b, e, alpha_b, n,
+            false);
+      for (std::size_t t = 0; t < m; ++t) {
+        float* row = alpha_b + t * n;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, row[i]);
+        float sum = 0.0f;
+        for (std::size_t i = 0; i < n; ++i) {
+          row[i] = std::exp(row[i] - mx);
+          sum += row[i];
+        }
+        for (std::size_t i = 0; i < n; ++i) row[i] /= sum;
+        // Concat left half: the decoder state itself.
+        std::memcpy(concat_b + t * eh, dec_b + t * e, e * sizeof(float));
+      }
+      // Contexts c_t = sum_i alpha_i E_i fill the right h columns of the
+      // concat rows (ldc = e + h places them after each D_t).
+      sgemm(Trans::kNo, Trans::kNo, m, h, n, alpha_b, n, enc_b, h,
+            concat_b + e, eh, false);
+    }
+    return output_dense_.forward(concat);  // [B, m, A]
+  }
   attn_scores_scratch_.resize(n);
   float* const scores = attn_scores_scratch_.data();
   for (std::size_t b = 0; b < b_count; ++b) {
@@ -321,15 +383,59 @@ nn::Tensor Seq2SeqModel::attention_mix_backward(const nn::Tensor& grad_concat,
   const std::size_t h = config_.lstm_hidden;
 
   nn::Tensor grad_decoder({b_count, m, e});
+  const std::size_t eh = e + h;
+  if (attention_gemm_enabled()) {
+    attn_dalpha_scratch_.resize(m * n);
+    float* const dalpha = attn_dalpha_scratch_.data();
+    for (std::size_t b = 0; b < b_count; ++b) {
+      const float* gz_b = grad_concat.raw() + b * m * eh;
+      const float* gc_b = gz_b + e;  // context-grad columns, lda = e + h
+      const float* enc_b = encoder.raw() + b * n * h;
+      const float* key_b = keys.raw() + b * n * e;
+      const float* dec_b = cached_decoder_.raw() + b * m * e;
+      const float* alpha_b = cached_alpha_.raw() + b * m * n;
+      float* gd_b = grad_decoder.raw() + b * m * e;
+      // Direct decoder-state gradient: the left e columns of the concat grad.
+      for (std::size_t t = 0; t < m; ++t)
+        std::memcpy(gd_b + t * e, gz_b + t * eh, e * sizeof(float));
+      // dalpha[t, i] = gc_t . E_i — strided view straight onto the context
+      // columns, no copy of the concat gradient.
+      sgemm(Trans::kNo, Trans::kYes, m, n, h, gc_b, eh, enc_b, h, dalpha, n,
+            false);
+      if (grad_encoder != nullptr)  // context sum: ge += alpha^T gc
+        sgemm(Trans::kYes, Trans::kNo, n, h, m, alpha_b, n, gc_b, eh,
+              grad_encoder->raw() + b * n * h, h, true);
+      // Softmax backward in place: ds_i = alpha_i (dalpha_i - sum_j alpha_j
+      // dalpha_j); the dalpha buffer holds ds afterwards.
+      for (std::size_t t = 0; t < m; ++t) {
+        const float* ar = alpha_b + t * n;
+        float* dr = dalpha + t * n;
+        float weighted = 0.0f;
+        for (std::size_t i = 0; i < n; ++i) weighted += ar[i] * dr[i];
+        for (std::size_t i = 0; i < n; ++i) dr[i] = ar[i] * (dr[i] - weighted);
+      }
+      // score = D_t . K_i backward: gd += ds K, gk += ds^T D.
+      sgemm(Trans::kNo, Trans::kNo, m, e, n, dalpha, n, key_b, e, gd_b, e,
+            true);
+      if (grad_keys != nullptr)
+        sgemm(Trans::kYes, Trans::kNo, n, e, m, dalpha, n, dec_b, e,
+              grad_keys->raw() + b * n * e, e, true);
+    }
+    return grad_decoder;
+  }
+
+  // Retained scalar path (RLATTACK_ATTN_GEMM=0): same accumulation trees as
+  // the GEMM formulation above — fresh per-element accumulators added to the
+  // destination, no skip on exact-zero terms — so the two paths are
+  // bit-identical under the scalar GEMM kernel.
   attn_dalpha_scratch_.resize(n);
   float* const dalpha = attn_dalpha_scratch_.data();
 
   for (std::size_t b = 0; b < b_count; ++b) {
     for (std::size_t t = 0; t < m; ++t) {
-      const float* gz = grad_concat.raw() + (b * m + t) * (e + h);
+      const float* gz = grad_concat.raw() + (b * m + t) * eh;
       // Direct decoder-state gradient from the concat split.
-      for (std::size_t k = 0; k < e; ++k)
-        grad_decoder.at3(b, t, k) += gz[k];
+      for (std::size_t k = 0; k < e; ++k) grad_decoder.at3(b, t, k) = gz[k];
       const float* gc = gz + e;  // d loss / d context [H]
 
       // d alpha_i = gc . E_i ; encoder grad from the context sum (only
@@ -348,16 +454,18 @@ nn::Tensor Seq2SeqModel::attention_mix_backward(const nn::Tensor& grad_concat,
       float weighted = 0.0f;
       for (std::size_t i = 0; i < n; ++i)
         weighted += cached_alpha_.at3(b, t, i) * dalpha[i];
-      for (std::size_t i = 0; i < n; ++i) {
-        const float ds = cached_alpha_.at3(b, t, i) * (dalpha[i] - weighted);
-        if (ds == 0.0f) continue;
-        // score = D_t . K_i.
-        for (std::size_t k = 0; k < e; ++k) {
-          grad_decoder.at3(b, t, k) += ds * keys.at3(b, i, k);
-          if (grad_keys != nullptr)
-            grad_keys->at3(b, i, k) += ds * cached_decoder_.at3(b, t, k);
-        }
+      for (std::size_t i = 0; i < n; ++i)
+        dalpha[i] = cached_alpha_.at3(b, t, i) * (dalpha[i] - weighted);
+      // score = D_t . K_i backward.
+      for (std::size_t k = 0; k < e; ++k) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < n; ++i) acc += dalpha[i] * keys.at3(b, i, k);
+        grad_decoder.at3(b, t, k) += acc;
       }
+      if (grad_keys != nullptr)
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t k = 0; k < e; ++k)
+            grad_keys->at3(b, i, k) += dalpha[i] * cached_decoder_.at3(b, t, k);
     }
   }
   return grad_decoder;
@@ -378,16 +486,34 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward_attention(
       grad_concat, cached_encoder_, cached_keys_, &grad_encoder, &grad_keys);
 
   // K = E W_a^T: accumulate W_a grads and the encoder grad through the keys.
-  for (std::size_t b = 0; b < b_count; ++b)
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t k = 0; k < e; ++k) {
-        const float gk = grad_keys.at3(b, i, k);
-        if (gk == 0.0f) continue;
-        for (std::size_t hh = 0; hh < h; ++hh) {
-          attn_w_grad_[k * h + hh] += gk * cached_encoder_.at3(b, i, hh);
-          grad_encoder.at3(b, i, hh) += gk * attn_w_[k * h + hh];
-        }
+  if (attention_gemm_enabled()) {
+    // dW_a += gk^T E and ge += gk W_a over the flattened [B*n, .] views.
+    // (Bit-equal to the scalar path below for B*n within one K block of the
+    // GEMM blocking; beyond that the two agree to rounding.)
+    sgemm(Trans::kYes, Trans::kNo, e, h, b_count * n, grad_keys.raw(), e,
+          cached_encoder_.raw(), h, attn_w_grad_.raw(), h, true);
+    sgemm(Trans::kNo, Trans::kNo, b_count * n, h, e, grad_keys.raw(), e,
+          attn_w_.raw(), h, grad_encoder.raw(), h, true);
+  } else {
+    // Scalar path: fresh per-element accumulators over the contraction, then
+    // one add into the destination — the GEMM accumulation tree.
+    for (std::size_t k = 0; k < e; ++k)
+      for (std::size_t hh = 0; hh < h; ++hh) {
+        float acc = 0.0f;
+        for (std::size_t b = 0; b < b_count; ++b)
+          for (std::size_t i = 0; i < n; ++i)
+            acc += grad_keys.at3(b, i, k) * cached_encoder_.at3(b, i, hh);
+        attn_w_grad_[k * h + hh] += acc;
       }
+    for (std::size_t b = 0; b < b_count; ++b)
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t hh = 0; hh < h; ++hh) {
+          float acc = 0.0f;
+          for (std::size_t k = 0; k < e; ++k)
+            acc += grad_keys.at3(b, i, k) * attn_w_[k * h + hh];
+          grad_encoder.at3(b, i, hh) += acc;
+        }
+  }
 
   InputGrads grads;
   grads.obs_history = obs_encoder_.backward(grad_encoder);

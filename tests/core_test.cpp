@@ -8,6 +8,7 @@
 #include "rlattack/core/rollout_fifo.hpp"
 #include "rlattack/env/frame_stack.hpp"
 #include "rlattack/env/mini_pong.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/q_agent.hpp"
 
@@ -171,6 +172,35 @@ TEST(AttackSession, SingleStepFiresOnce) {
   EpisodeOutcome outcome = session.run_episode(policy, 35);
   EXPECT_EQ(outcome.attacks_attempted, 1u);
   EXPECT_GE(outcome.fired_step, 6u);
+}
+
+TEST(AttackSession, HistoryEncodedOncePerAttackedStep) {
+  // Pins the craft-cache audit (ISSUE 6): every victim-probe path inside the
+  // session — the runner-up target probe and each PGD craft iteration —
+  // shares the one CraftContext built per attacked step, so an attacked step
+  // costs exactly one seq2seq.encode_history and the rest of the queries hit
+  // the cached encoding. The ablation benches (bench_ablation_defense /
+  // bench_ablation_detection) drive this exact path via AttackSession.
+  SessionFixture fx;
+  fx.attack = attack::make_attack(attack::Kind::kPgd);
+  attack::Budget budget{attack::Budget::Norm::kL2, 0.5f};
+  AttackSession session(*fx.victim, env::Game::kCartPole, *fx.model,
+                        *fx.attack, budget);
+  AttackPolicy policy;
+  policy.mode = AttackPolicy::Mode::kEveryStep;
+  policy.runner_up_target = true;
+  obs::SpanStat& encodes =
+      obs::MetricsRegistry::global().span("seq2seq.encode_history");
+  obs::Counter& reuse =
+      obs::MetricsRegistry::global().counter("attack.encode.reuse");
+  const std::size_t encodes_before = encodes.snapshot().count();
+  const std::uint64_t reuse_before = reuse.value();
+  EpisodeOutcome outcome = session.run_episode(policy, 37);
+  ASSERT_GT(outcome.attacks_attempted, 0u);
+  EXPECT_EQ(encodes.snapshot().count() - encodes_before,
+            outcome.attacks_attempted);
+  // Runner-up probe + multi-iteration PGD means several cache hits per step.
+  EXPECT_GT(reuse.value() - reuse_before, outcome.attacks_attempted);
 }
 
 TEST(AttackSession, MismatchedModelThrows) {

@@ -93,6 +93,128 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmCase{3, 200, 1}, GemmCase{128, 1, 70},
                       GemmCase{65, 130, 257}));
 
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch matrix: every kernel choice must agree with the
+// naive reference on odd shapes (register-tile remainders, masked column
+// tails, kMC/kNC/kKC block boundaries), for all four transpose combos,
+// accumulate on/off — and must be bit-identical across thread counts
+// *within* a kernel choice (the determinism contract is per-kernel; scalar
+// vs AVX2 agree only to rounding because FMA rounds once per term).
+
+/// Restores the process-wide kernel choice and global pool on scope exit,
+/// including early ASSERT exits.
+struct DispatchGuard {
+  kernels::SimdKernel saved = kernels::active_simd_kernel();
+  ~DispatchGuard() {
+    kernels::set_simd_kernel(saved);
+    util::ThreadPool::reset_global(0);
+  }
+};
+
+std::vector<GemmCase> dispatch_matrix_shapes() {
+  // Full cube over dims that straddle the 4/6-row tiles and 8/16-wide column
+  // chunks, plus sentinels that cross the kMC=64 / kNC=128 / kKC=256 cache
+  // blocks (255/257/130).
+  const std::size_t dims[] = {1, 3, 17, 63, 64, 65};
+  std::vector<GemmCase> cases;
+  for (std::size_t m : dims)
+    for (std::size_t n : dims)
+      for (std::size_t k : dims) cases.push_back({m, n, k});
+  cases.push_back({255, 255, 255});
+  cases.push_back({255, 1, 255});
+  cases.push_back({1, 255, 255});
+  cases.push_back({255, 255, 1});
+  cases.push_back({17, 33, 257});
+  cases.push_back({65, 255, 130});
+  return cases;
+}
+
+class SimdDispatchMatrix : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(SimdDispatchMatrix, EveryKernelMatchesReferenceAndIsThreadStable) {
+  const auto [m, n, k] = GetParam();
+  DispatchGuard guard;
+  std::vector<kernels::SimdKernel> choices{kernels::SimdKernel::kScalar};
+  if (kernels::avx2_available())
+    choices.push_back(kernels::SimdKernel::kAvx2);
+  util::Rng rng(71);
+  for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (const Trans tb : {Trans::kNo, Trans::kYes}) {
+      for (const bool accumulate : {false, true}) {
+        const std::size_t lda = ta == Trans::kNo ? k : m;
+        const std::size_t ldb = tb == Trans::kNo ? n : k;
+        Tensor a = random_tensor({ta == Trans::kNo ? m : k, lda}, rng);
+        Tensor b = random_tensor({tb == Trans::kNo ? k : n, ldb}, rng);
+        Tensor c0 = random_tensor({m, n}, rng);
+        Tensor c_ref = c0;
+        naive_gemm(ta, tb, m, n, k, a.raw(), lda, b.raw(), ldb, c_ref.raw(),
+                   n, accumulate);
+        for (const kernels::SimdKernel choice : choices) {
+          kernels::set_simd_kernel(choice);
+          util::ThreadPool::reset_global(1);
+          Tensor c1 = c0;
+          kernels::sgemm(ta, tb, m, n, k, a.raw(), lda, b.raw(), ldb,
+                         c1.raw(), n, accumulate);
+          util::ThreadPool::reset_global(4);
+          Tensor c4 = c0;
+          kernels::sgemm(ta, tb, m, n, k, a.raw(), lda, b.raw(), ldb,
+                         c4.raw(), n, accumulate);
+          expect_close(c1, c_ref, kParityTol,
+                       kernels::simd_kernel_name(choice));
+          for (std::size_t i = 0; i < c1.size(); ++i)
+            ASSERT_EQ(c1[i], c4[i])
+                << kernels::simd_kernel_name(choice)
+                << " kernel drifted across thread counts at " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SimdDispatchMatrix,
+                         ::testing::ValuesIn(dispatch_matrix_shapes()));
+
+TEST(SimdDispatch, NamesAndOverrideContract) {
+  DispatchGuard guard;
+  EXPECT_STREQ(kernels::simd_kernel_name(kernels::SimdKernel::kScalar),
+               "scalar");
+  EXPECT_STREQ(kernels::simd_kernel_name(kernels::SimdKernel::kAvx2), "avx2");
+  kernels::set_simd_kernel(kernels::SimdKernel::kScalar);
+  EXPECT_EQ(kernels::active_simd_kernel(), kernels::SimdKernel::kScalar);
+  if (kernels::avx2_available()) {
+    kernels::set_simd_kernel(kernels::SimdKernel::kAvx2);
+    EXPECT_EQ(kernels::active_simd_kernel(), kernels::SimdKernel::kAvx2);
+  } else {
+    EXPECT_THROW(kernels::set_simd_kernel(kernels::SimdKernel::kAvx2),
+                 std::invalid_argument);
+  }
+}
+
+TEST(SimdDispatch, NonTightLeadingDimensionsEveryKernel) {
+  DispatchGuard guard;
+  util::Rng rng(7);
+  const std::size_t m = 13, n = 21, k = 11;
+  const std::size_t lda = k + 3, ldb = n + 5, ldc = n + 2;
+  Tensor a = random_tensor({m, lda}, rng);
+  Tensor b = random_tensor({k, ldb}, rng);
+  Tensor c0 = random_tensor({m, ldc}, rng);
+  Tensor c_ref = c0;
+  naive_gemm(Trans::kNo, Trans::kNo, m, n, k, a.raw(), lda, b.raw(), ldb,
+             c_ref.raw(), ldc, false);
+  std::vector<kernels::SimdKernel> choices{kernels::SimdKernel::kScalar};
+  if (kernels::avx2_available())
+    choices.push_back(kernels::SimdKernel::kAvx2);
+  for (const kernels::SimdKernel choice : choices) {
+    kernels::set_simd_kernel(choice);
+    Tensor c = c0;
+    kernels::sgemm(Trans::kNo, Trans::kNo, m, n, k, a.raw(), lda, b.raw(),
+                   ldb, c.raw(), ldc, false);
+    // The ldc slack columns must be untouched — the masked tail stores may
+    // not write past column n.
+    expect_close(c, c_ref, kParityTol, kernels::simd_kernel_name(choice));
+  }
+}
+
 TEST(SgemmParity, NonTightLeadingDimensions) {
   util::Rng rng(7);
   const std::size_t m = 6, n = 9, k = 11;

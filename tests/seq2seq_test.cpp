@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "gradcheck.hpp"
+#include "rlattack/nn/kernels/gemm.hpp"
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/seq2seq/dataset.hpp"
 #include "rlattack/seq2seq/model.hpp"
@@ -170,6 +171,107 @@ void expect_cached_path_bit_identical(const Seq2SeqConfig& cfg,
           << "cached current-obs grad differs at " << i << " (round "
           << round << ")";
   }
+}
+
+/// The attention-GEMM contract: the batched-GEMM formulation of the
+/// attention decoder must reproduce the retained scalar per-(b, t) loops bit
+/// for bit — logits, every input gradient, and every parameter gradient —
+/// on both the full and the cached craft path. Exact equality is defined
+/// under the scalar GEMM kernel (the AVX2 kernel's FMA rounds once per term,
+/// so across SIMD kernels results agree only to rounding).
+struct AttnGemmGuard {
+  nn::kernels::SimdKernel saved_kernel = nn::kernels::active_simd_kernel();
+  bool saved_gemm = attention_gemm_enabled();
+  ~AttnGemmGuard() {
+    nn::kernels::set_simd_kernel(saved_kernel);
+    set_attention_gemm_enabled(saved_gemm);
+  }
+};
+
+void expect_attention_gemm_bit_identical(const Seq2SeqConfig& cfg,
+                                         std::uint64_t seed) {
+  AttnGemmGuard guard;
+  nn::kernels::set_simd_kernel(nn::kernels::SimdKernel::kScalar);
+  Seq2SeqModel model(cfg, seed);
+  util::Rng rng(seed + 1);
+  const std::size_t b = 2;
+  nn::Tensor actions = random_tensor({b, cfg.input_steps, cfg.actions}, rng);
+  nn::Tensor obs = random_tensor({b, cfg.input_steps, cfg.frame_size()}, rng);
+  nn::Tensor current = random_tensor({b, cfg.frame_size()}, rng);
+  nn::Tensor grad_logits =
+      random_tensor({b, cfg.output_steps, cfg.actions}, rng);
+
+  struct PathResult {
+    nn::Tensor logits, ga, go, gc;
+    std::vector<nn::Tensor> param_grads;
+    nn::Tensor cached_logits, cached_grad;
+  };
+  auto run = [&](bool gemm) {
+    set_attention_gemm_enabled(gemm);
+    PathResult r;
+    r.logits = model.forward(actions, obs, current);
+    model.zero_grad();
+    auto grads = model.backward(grad_logits);
+    r.ga = std::move(grads.action_history);
+    r.go = std::move(grads.obs_history);
+    r.gc = std::move(grads.current_obs);
+    for (const nn::Param& p : model.params()) r.param_grads.push_back(*p.grad);
+    model.zero_grad();
+    HistoryEncoding cache = model.encode_history(actions, obs);
+    r.cached_logits = model.forward_cached(cache, current);
+    r.cached_grad = model.backward_to_current(grad_logits);
+    model.zero_grad();
+    return r;
+  };
+  PathResult gemm = run(true);
+  PathResult scalar = run(false);
+
+  auto expect_bits = [](const nn::Tensor& got, const nn::Tensor& want,
+                        const char* what) {
+    ASSERT_TRUE(got.same_shape(want)) << what;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], want[i]) << what << " differs at " << i;
+  };
+  expect_bits(gemm.logits, scalar.logits, "logits");
+  expect_bits(gemm.ga, scalar.ga, "action-history grad");
+  expect_bits(gemm.go, scalar.go, "obs-history grad");
+  expect_bits(gemm.gc, scalar.gc, "current-obs grad");
+  expect_bits(gemm.cached_logits, scalar.cached_logits, "cached logits");
+  expect_bits(gemm.cached_grad, scalar.cached_grad, "cached current grad");
+  ASSERT_EQ(gemm.param_grads.size(), scalar.param_grads.size());
+  const auto& params = model.params();
+  for (std::size_t i = 0; i < gemm.param_grads.size(); ++i)
+    expect_bits(gemm.param_grads[i], scalar.param_grads[i],
+                params[i].name.c_str());
+}
+
+TEST(Seq2SeqAttentionGemm, AttentionVectorBitIdentical) {
+  Seq2SeqConfig cfg = tiny_config(3, 2);
+  cfg.use_attention = true;
+  expect_attention_gemm_bit_identical(cfg, 15);
+}
+
+TEST(Seq2SeqAttentionGemm, AttentionImageBitIdentical) {
+  Seq2SeqConfig cfg =
+      make_atari_seq2seq_config({1, 8, 8}, 3, /*n=*/2, /*m=*/2);
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  cfg.use_attention = true;
+  expect_attention_gemm_bit_identical(cfg, 16);
+}
+
+TEST(Seq2SeqAttentionGemm, PoolingVectorBitIdentical) {
+  // Pooling decoders never touch the attention code; the toggle must be a
+  // strict no-op for them.
+  expect_attention_gemm_bit_identical(tiny_config(3, 2), 17);
+}
+
+TEST(Seq2SeqAttentionGemm, PoolingImageBitIdentical) {
+  Seq2SeqConfig cfg =
+      make_atari_seq2seq_config({1, 8, 8}, 3, /*n=*/2, /*m=*/2);
+  cfg.embed = 8;
+  cfg.lstm_hidden = 6;
+  expect_attention_gemm_bit_identical(cfg, 18);
 }
 
 TEST(Seq2SeqCraftCache, PoolingVectorBitIdentical) {
