@@ -59,20 +59,77 @@ done
 } > METRICS.json
 
 # Collect the drivers' per-experiment timing lines into a JSON baseline.
+# The committed baseline (if any) is kept aside first so the regression
+# check below can diff against what the tree shipped with.
+[ -f BENCH_experiments.json ] && cp BENCH_experiments.json \
+  BENCH_experiments.baseline.json
 awk 'BEGIN { print "["; first = 1 }
   /^\[timing\]/ {
-    e = t = n = w = ""
+    e = t = n = c = w = ""
     for (i = 2; i <= NF; ++i) {
       split($i, kv, "=")
       if (kv[1] == "experiment") e = kv[2]
       if (kv[1] == "threads") t = kv[2]
       if (kv[1] == "episodes") n = kv[2]
+      if (kv[1] == "craft_batch") c = kv[2]
       if (kv[1] == "wall_s") w = kv[2]
     }
     if (e == "" || t == "" || n == "" || w == "") next
+    if (c == "") c = 0
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"experiment\": \"%s\", \"threads\": %s, \"episodes\": %s, \"wall_seconds\": %s}", e, t, n, w
+    printf "  {\"experiment\": \"%s\", \"threads\": %s, \"episodes\": %s, \"craft_batch\": %s, \"wall_seconds\": %s}", e, t, n, c, w
   }
   END { print "\n]" }' bench_output.txt > BENCH_experiments.json
+
+# Wall-clock regression gate: rows matched against the committed baseline by
+# (experiment, threads, craft_batch); >10% slower flags the row. The verdict
+# lands in CHECKS.json under "bench_regressions" so run_checks.sh consumers
+# see perf and correctness in one place (short sub-second rows are skipped —
+# they are scheduler noise at this granularity).
+if command -v python3 >/dev/null 2>&1 && \
+   [ -f BENCH_experiments.baseline.json ]; then
+  python3 - <<'EOF'
+import json, os
+
+def rows(path):
+    out = {}
+    for r in json.load(open(path)):
+        key = (r["experiment"], r.get("threads"), r.get("craft_batch", 0))
+        out[key] = r["wall_seconds"]
+    return out
+
+base = rows("BENCH_experiments.baseline.json")
+new = rows("BENCH_experiments.json")
+flagged = []
+for key, wall in sorted(new.items()):
+    ref = base.get(key)
+    if ref is None or ref < 1.0:
+        continue
+    if wall > ref * 1.10:
+        flagged.append({
+            "experiment": key[0], "threads": key[1], "craft_batch": key[2],
+            "baseline_wall_seconds": ref, "wall_seconds": wall,
+            "slowdown": round(wall / ref, 3),
+        })
+report = {"tool": "run_benches.sh", "threshold": 1.10,
+          "compared_rows": sum(1 for k in new if k in base),
+          "status": "regressions" if flagged else "ok",
+          "bench_regressions": flagged}
+doc = {}
+if os.path.exists("CHECKS.json"):
+    try:
+        doc = json.load(open("CHECKS.json"))
+    except ValueError:
+        doc = {}
+doc["bench"] = report
+json.dump(doc, open("CHECKS.json", "w"), indent=2)
+print("bench regression check:", report["status"],
+      f"({len(flagged)} flagged of {report['compared_rows']} compared)")
+for f in flagged:
+    print("  REGRESSION", f["experiment"], "threads", f["threads"],
+          "craft_batch", f["craft_batch"], ":",
+          f["baseline_wall_seconds"], "->", f["wall_seconds"], "s")
+EOF
+fi
 echo ALL_BENCHES_DONE >> bench_output.txt

@@ -23,6 +23,11 @@
 #   simd     default build + the kernel/attention parity suites run twice,
 #            once under RLATTACK_SIMD=avx2 and once under RLATTACK_SIMD=scalar;
 #            SKIPPED (not failed) when the host CPU lacks AVX2/FMA
+#   batch    batched-craft-substrate parity suites (seq2seq_batch_test plus
+#            the CraftBatch/WorkerPool experiment suites) under BOTH ASan and
+#            TSan — the rendezvous shares one model across host threads and
+#            memcpy-packs rows around the shared GEMMs, so it gets the
+#            memory- and race-checker treatment explicitly
 #
 # Exit status: non-zero if any selected config fails. A skipped tidy step
 # (missing tool) does not fail the run; CHECKS.json records it as "skipped"
@@ -32,7 +37,7 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics simd)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics simd batch)
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=("${ALL_CONFIGS[@]}")
@@ -41,7 +46,7 @@ fi
 # TSan runs the suites that exercise the thread pool and the episode-parallel
 # reduction; the remaining tests are single-threaded re-runs of the same code
 # ASan/UBSan already cover, and TSan's ~10x slowdown makes them poor value.
-TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel|Metrics'
+TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel|Metrics|Batched'
 
 LOG_DIR="checks-logs"
 mkdir -p "${LOG_DIR}"
@@ -202,6 +207,38 @@ run_config() {
         run_logged "${log}" validate_metrics_json "${metrics_json}" || rc=1
       fi
       DETAIL[${name}]="instrumented experiment + METRICS JSON key validation"
+      ;;
+    batch)
+      # Both sanitizers reuse the asan/tsan build trees (incremental after
+      # the first run). Host threads of the rendezvous block while one of
+      # them drives the shared model, so TSan sees the full handoff.
+      configure_build batch build-asan "${log}" \
+        -DRLATTACK_ASAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build-asan/tests/seq2seq_batch_test \
+          --gtest_filter='Seq2SeqBatchedCraft*' || rc=1
+        ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build-asan/tests/experiments_parallel_test \
+          --gtest_filter='*CraftBatch*:*WorkerPool*' || rc=1
+      fi
+      configure_build batch build-tsan "${log}" \
+        -DRLATTACK_TSAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build-tsan/tests/seq2seq_batch_test \
+          --gtest_filter='Seq2SeqBatchedCraft*' || rc=1
+        TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build-tsan/tests/experiments_parallel_test \
+          --gtest_filter='*CraftBatch*:*WorkerPool*' || rc=1
+      fi
+      DETAIL[${name}]="batched-craft parity suites under ASan + TSan"
       ;;
     simd)
       # Dispatch parity: the kernel/attention parity suites must pass when

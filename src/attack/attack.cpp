@@ -1,10 +1,14 @@
 #include "rlattack/attack/attack.hpp"
 
 #include <algorithm>
+
+#include "rlattack/attack/batch_planner.hpp"
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/obs/metrics.hpp"
@@ -107,21 +111,6 @@ struct Anchor {
   float sign = 1.0f;  ///< +1 ascend (untargeted), -1 descend (targeted)
 };
 
-Anchor resolve_anchor(CraftContext& ctx, const Goal& goal) {
-  Anchor anchor;
-  if (goal.mode == Goal::Mode::kTargeted) {
-    anchor.action = goal.target_action;
-    anchor.sign = -1.0f;
-  } else {
-    const auto predicted = ctx.predict_actions();
-    if (goal.position >= predicted.size())
-      throw std::logic_error("Attack: goal position beyond output sequence");
-    anchor.action = predicted[goal.position];
-    anchor.sign = 1.0f;
-  }
-  return anchor;
-}
-
 /// Signed gradient step direction at `current_obs` for a fixed anchor.
 nn::Tensor crafting_direction(CraftContext& ctx, const Goal& goal,
                               const Anchor& anchor,
@@ -130,6 +119,33 @@ nn::Tensor crafting_direction(CraftContext& ctx, const Goal& goal,
       ctx.current_obs_gradient(goal.position, anchor.action, current_obs);
   grad *= anchor.sign;
   return grad;
+}
+
+/// Anchor plus the first crafting direction, both on the clean input. The
+/// untargeted anchor is the argmax of the very forward pass the first
+/// gradient needs, so the fused CraftContext query resolves both in one
+/// rendezvous round; the targeted anchor is free and only the gradient is
+/// asked for.
+struct AnchoredDirection {
+  Anchor anchor;
+  nn::Tensor grad;  ///< already sign-adjusted
+};
+
+AnchoredDirection resolve_anchor_and_direction(CraftContext& ctx,
+                                               const Goal& goal,
+                                               const nn::Tensor& current_obs) {
+  AnchoredDirection out;
+  if (goal.mode == Goal::Mode::kTargeted) {
+    out.anchor.action = goal.target_action;
+    out.anchor.sign = -1.0f;
+    out.grad = crafting_direction(ctx, goal, out.anchor, current_obs);
+    return out;
+  }
+  auto [predicted, grad] = ctx.anchored_gradient(goal.position, current_obs);
+  out.anchor.action = predicted[goal.position];
+  out.anchor.sign = 1.0f;  // ascend; the raw gradient already points uphill
+  out.grad = std::move(grad);
+  return out;
 }
 
 }  // namespace
@@ -146,6 +162,13 @@ CraftContext::CraftContext(seq2seq::Seq2SeqModel& model,
                            const CraftInputs& inputs)
     : model_(model), inputs_(inputs), use_cache_(craft_cache_enabled()) {}
 
+CraftContext::CraftContext(BatchedCraftPlanner& planner,
+                           const CraftInputs& inputs)
+    : model_(planner.model()),
+      inputs_(inputs),
+      planner_(&planner),
+      use_cache_(true) {}
+
 nn::Tensor CraftContext::cached_logits(const nn::Tensor& current_obs) {
   if (!encoded_) {
     encoding_ =
@@ -158,9 +181,23 @@ nn::Tensor CraftContext::cached_logits(const nn::Tensor& current_obs) {
 }
 
 std::vector<std::size_t> CraftContext::predict_actions() {
-  if (!use_cache_) return attack::predict_actions(model_, inputs_);
+  if (planner_ == nullptr && !use_cache_)
+    return attack::predict_actions(model_, inputs_);
   g_metrics.queries_forward.add();
-  nn::Tensor logits = cached_logits(inputs_.current_obs);
+  nn::Tensor logits;
+  if (planner_ != nullptr) {
+    BatchedCraftPlanner::Probe probe;
+    probe.kind = BatchedCraftPlanner::ProbeKind::kForward;
+    probe.inputs = &inputs_;
+    probe.encoding = &encoding_;
+    probe.encoded = &encoded_;
+    probe.current_obs = &inputs_.current_obs;
+    if (encoded_) g_metrics.encode_reuse.add();
+    planner_->submit(probe);
+    logits = std::move(probe.logits);
+  } else {
+    logits = cached_logits(inputs_.current_obs);
+  }
   const std::size_t m = logits.dim(1), a = logits.dim(2);
   std::vector<std::size_t> actions(m);
   for (std::size_t j = 0; j < m; ++j) {
@@ -173,10 +210,23 @@ std::vector<std::size_t> CraftContext::predict_actions() {
 
 std::vector<float> CraftContext::position_logits(
     std::size_t position, const nn::Tensor& current_obs) {
-  if (!use_cache_)
+  if (planner_ == nullptr && !use_cache_)
     return attack::position_logits(model_, inputs_, position, current_obs);
   g_metrics.queries_forward.add();
-  nn::Tensor logits = cached_logits(current_obs);
+  nn::Tensor logits;
+  if (planner_ != nullptr) {
+    BatchedCraftPlanner::Probe probe;
+    probe.kind = BatchedCraftPlanner::ProbeKind::kForward;
+    probe.inputs = &inputs_;
+    probe.encoding = &encoding_;
+    probe.encoded = &encoded_;
+    probe.current_obs = &current_obs;
+    if (encoded_) g_metrics.encode_reuse.add();
+    planner_->submit(probe);
+    logits = std::move(probe.logits);
+  } else {
+    logits = cached_logits(current_obs);
+  }
   const std::size_t m = logits.dim(1), a = logits.dim(2);
   if (position >= m)
     throw std::logic_error("position_logits: position out of range");
@@ -187,10 +237,25 @@ std::vector<float> CraftContext::position_logits(
 nn::Tensor CraftContext::current_obs_gradient(std::size_t position,
                                               std::size_t action,
                                               const nn::Tensor& current_obs) {
-  if (!use_cache_)
+  if (planner_ == nullptr && !use_cache_)
     return attack::current_obs_gradient(model_, inputs_, position, action,
                                         current_obs);
   g_metrics.queries_gradient.add();
+  if (planner_ != nullptr) {
+    if (position >= model_.config().output_steps)
+      throw std::logic_error("current_obs_gradient: position out of range");
+    BatchedCraftPlanner::Probe probe;
+    probe.kind = BatchedCraftPlanner::ProbeKind::kCeGradient;
+    probe.inputs = &inputs_;
+    probe.encoding = &encoding_;
+    probe.encoded = &encoded_;
+    probe.current_obs = &current_obs;
+    probe.position = position;
+    probe.action_a = action;
+    if (encoded_) g_metrics.encode_reuse.add();
+    planner_->submit(probe);
+    return std::move(probe.grad);
+  }
   nn::Tensor logits = cached_logits(current_obs);
   const std::size_t m = logits.dim(1);
   if (position >= m)
@@ -207,13 +272,71 @@ nn::Tensor CraftContext::current_obs_gradient(std::size_t position,
   return grad;
 }
 
+std::pair<std::vector<std::size_t>, nn::Tensor>
+CraftContext::anchored_gradient(std::size_t position,
+                                const nn::Tensor& current_obs) {
+  if (planner_ == nullptr) {
+    // No rendezvous to save: ask the two questions exactly as the callers
+    // used to, so the single-row paths (cache on or off) stay untouched
+    // parity oracles.
+    std::vector<std::size_t> predicted = predict_actions();
+    if (position >= predicted.size())
+      throw std::logic_error("Attack: goal position beyond output sequence");
+    nn::Tensor grad =
+        current_obs_gradient(position, predicted[position], current_obs);
+    return {std::move(predicted), std::move(grad)};
+  }
+  if (position >= model_.config().output_steps)
+    throw std::logic_error("Attack: goal position beyond output sequence");
+  g_metrics.queries_forward.add();
+  g_metrics.queries_gradient.add();
+  // Mirror the unfused accounting: the gradient half of the fused probe
+  // always reuses the encoding the forward half just ensured (plus one more
+  // reuse when the context was already encoded before the call).
+  if (encoded_) g_metrics.encode_reuse.add();
+  g_metrics.encode_reuse.add();
+  BatchedCraftPlanner::Probe probe;
+  probe.kind = BatchedCraftPlanner::ProbeKind::kAnchorGradient;
+  probe.inputs = &inputs_;
+  probe.encoding = &encoding_;
+  probe.encoded = &encoded_;
+  probe.current_obs = &current_obs;
+  probe.position = position;
+  planner_->submit(probe);
+  const std::size_t m = probe.logits.dim(1), a = probe.logits.dim(2);
+  std::vector<std::size_t> predicted(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto row = probe.logits.data().subspan(j * a, a);
+    predicted[j] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return {std::move(predicted), std::move(probe.grad)};
+}
+
 nn::Tensor CraftContext::logit_diff_gradient(std::size_t position,
                                              std::size_t a, std::size_t b,
                                              const nn::Tensor& current_obs) {
-  if (!use_cache_)
+  if (planner_ == nullptr && !use_cache_)
     return attack::logit_diff_gradient(model_, inputs_, position, a, b,
                                        current_obs);
   g_metrics.queries_gradient.add();
+  if (planner_ != nullptr) {
+    const seq2seq::Seq2SeqConfig& cfg = model_.config();
+    if (position >= cfg.output_steps || a >= cfg.actions || b >= cfg.actions)
+      throw std::logic_error("logit_diff_gradient: index out of range");
+    BatchedCraftPlanner::Probe probe;
+    probe.kind = BatchedCraftPlanner::ProbeKind::kDiffGradient;
+    probe.inputs = &inputs_;
+    probe.encoding = &encoding_;
+    probe.encoded = &encoded_;
+    probe.current_obs = &current_obs;
+    probe.position = position;
+    probe.action_a = a;
+    probe.action_b = b;
+    if (encoded_) g_metrics.encode_reuse.add();
+    planner_->submit(probe);
+    return std::move(probe.grad);
+  }
   nn::Tensor logits = cached_logits(current_obs);
   const std::size_t m = logits.dim(1), actions = logits.dim(2);
   if (position >= m || a >= actions || b >= actions)
@@ -336,9 +459,8 @@ nn::Tensor FgsmAttack::perturb(CraftContext& ctx, const Goal& goal,
                                util::Rng& /*rng*/) {
   g_metrics.craft_fgsm.add();
   const CraftInputs& inputs = ctx.inputs();
-  const Anchor anchor = resolve_anchor(ctx, goal);
   nn::Tensor grad =
-      crafting_direction(ctx, goal, anchor, inputs.current_obs);
+      resolve_anchor_and_direction(ctx, goal, inputs.current_obs).grad;
   nn::Tensor delta(grad.shape());
   if (budget.norm == Budget::Norm::kLinf) {
     // Classic FGSM: epsilon * sign(grad).
@@ -373,13 +495,18 @@ nn::Tensor PgdAttack::perturb(CraftContext& ctx, const Goal& goal,
   g_metrics.craft_pgd.add();
   g_metrics.pgd_iterations.add(steps_);
   const CraftInputs& inputs = ctx.inputs();
-  const Anchor anchor = resolve_anchor(ctx, goal);
+  // Iteration 0 evaluates at the clean input, so its gradient rides along
+  // with the anchor resolution; later iterates query at the moved candidate.
+  AnchoredDirection first =
+      resolve_anchor_and_direction(ctx, goal, inputs.current_obs);
   nn::Tensor candidate = inputs.current_obs;
   const float step_size = step_fraction_ * budget.epsilon;
   Budget step_budget = budget;
   step_budget.epsilon = step_size;
   for (std::size_t it = 0; it < steps_; ++it) {
-    nn::Tensor grad = crafting_direction(ctx, goal, anchor, candidate);
+    nn::Tensor grad =
+        it == 0 ? std::move(first.grad)
+                : crafting_direction(ctx, goal, first.anchor, candidate);
     nn::Tensor step(grad.shape());
     if (budget.norm == Budget::Norm::kLinf) {
       for (std::size_t i = 0; i < grad.size(); ++i)

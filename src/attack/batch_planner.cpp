@@ -1,0 +1,282 @@
+#include "rlattack/attack/batch_planner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "rlattack/nn/loss.hpp"
+#include "rlattack/obs/metrics.hpp"
+#include "rlattack/util/check.hpp"
+
+namespace rlattack::attack {
+
+namespace {
+
+struct BatchEnv {
+  bool enabled = true;
+  std::size_t width = 32;
+};
+
+/// RLATTACK_CRAFT_BATCH: "0" = kill switch, an integer > 1 = enabled with
+/// that flush width, anything else (including unset) = enabled at the
+/// default width.
+BatchEnv parse_batch_env() {
+  BatchEnv out;
+  const char* env = std::getenv("RLATTACK_CRAFT_BATCH");
+  if (env == nullptr || *env == '\0') return out;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return out;
+  if (v == 0) out.enabled = false;
+  if (v > 1) out.width = static_cast<std::size_t>(v);
+  return out;
+}
+
+std::atomic<bool>& batch_flag() {
+  static std::atomic<bool> enabled{parse_batch_env().enabled};
+  return enabled;
+}
+
+std::atomic<std::size_t>& batch_width() {
+  static std::atomic<std::size_t> width{parse_batch_env().width};
+  return width;
+}
+
+// Pre-registered telemetry: per-flush batch size (how far the tail GEMMs
+// are from m = 1), plus the pack/unpack overhead the fusion pays.
+struct PlannerMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram& batch_size =
+      reg.histogram("craft.batch.size", {1, 2, 4, 8, 16, 32, 64});
+  obs::Counter& flushes = reg.counter("craft.batch.flushes");
+  obs::Counter& probes = reg.counter("craft.batch.probes");
+  obs::SpanStat& gather = reg.span("craft.batch.gather");
+  obs::SpanStat& scatter = reg.span("craft.batch.scatter");
+};
+PlannerMetrics& planner_metrics() {
+  static PlannerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+bool craft_batch_enabled() noexcept {
+  return batch_flag().load(std::memory_order_relaxed);
+}
+
+void set_craft_batch_enabled(bool enabled) noexcept {
+  batch_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t craft_batch_width() noexcept {
+  return batch_width().load(std::memory_order_relaxed);
+}
+
+void set_craft_batch_width(std::size_t width) noexcept {
+  batch_width().store(width == 0 ? 1 : width, std::memory_order_relaxed);
+}
+
+BatchedCraftPlanner::BatchedCraftPlanner(seq2seq::Seq2SeqModel& model)
+    : model_(model) {}
+
+BatchedCraftPlanner::~BatchedCraftPlanner() {
+  if constexpr (util::kCheckedBuild) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RLATTACK_CHECK(enrolled_ == 0 && queue_.empty(),
+                   "BatchedCraftPlanner destroyed with live participants "
+                   "or pending probes");
+  }
+}
+
+BatchedCraftPlanner::Participant::Participant(BatchedCraftPlanner& planner)
+    : planner_(planner) {
+  planner_.enroll();
+}
+
+BatchedCraftPlanner::Participant::~Participant() { retire(); }
+
+void BatchedCraftPlanner::Participant::retire() noexcept {
+  if (retired_) return;
+  retired_ = true;
+  planner_.retire();
+}
+
+void BatchedCraftPlanner::enroll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++enrolled_;
+}
+
+void BatchedCraftPlanner::retire() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(enrolled_ > 0,
+                   "BatchedCraftPlanner::retire: no enrolled participants");
+  }
+  --enrolled_;
+  // Leaving the rendezvous can complete it: if everyone still enrolled is
+  // already waiting, the retiring thread runs the flush on their behalf.
+  if (!queue_.empty() && queue_.size() == enrolled_) flush_locked();
+}
+
+void BatchedCraftPlanner::submit(Probe& probe) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if constexpr (util::kCheckedBuild) {
+    // A probe from a thread without a live Participant could make
+    // queue_.size() exceed enrolled_ and deadlock the rendezvous.
+    RLATTACK_CHECK(enrolled_ > queue_.size(),
+                   "BatchedCraftPlanner::submit: probe without a live "
+                   "Participant enrollment");
+  }
+  queue_.push_back(&probe);
+  if (queue_.size() == enrolled_) {
+    // Last arrival executes the whole batch; everyone else is parked on
+    // cv_ below, so holding mu_ through the model work is deadlock-free.
+    flush_locked();
+    return;
+  }
+  cv_.wait(lock, [&] { return probe.done; });
+}
+
+void BatchedCraftPlanner::flush_locked() {
+  PlannerMetrics& metrics = planner_metrics();
+  const std::size_t rows = queue_.size();
+  metrics.flushes.add();
+  metrics.probes.add(rows);
+  metrics.batch_size.record(static_cast<double>(rows));
+
+  const seq2seq::Seq2SeqConfig& cfg = model_.config();
+  const std::size_t n = cfg.input_steps;
+  const std::size_t a_count = cfg.actions;
+  const std::size_t m = cfg.output_steps;
+  const std::size_t frame = cfg.frame_size();
+
+  // Lazy history encodes, batched: pack the not-yet-encoded contexts'
+  // histories, run the heads once, scatter the per-row encodings back into
+  // the contexts' cache slots.
+  std::vector<Probe*> to_encode;
+  for (Probe* probe : queue_)
+    if (!*probe->encoded) to_encode.push_back(probe);
+  if (!to_encode.empty()) {
+    const std::size_t k = to_encode.size();
+    nn::Tensor actions({k, n, a_count});
+    nn::Tensor observations({k, n, frame});
+    {
+      obs::Span span(metrics.gather);
+      for (std::size_t r = 0; r < k; ++r) {
+        const CraftInputs& in = *to_encode[r]->inputs;
+        std::memcpy(actions.raw() + r * n * a_count, in.action_history.raw(),
+                    n * a_count * sizeof(float));
+        std::memcpy(observations.raw() + r * n * frame, in.obs_history.raw(),
+                    n * frame * sizeof(float));
+      }
+    }
+    std::vector<seq2seq::HistoryEncoding> encodings =
+        model_.encode_history_batch(actions, observations);
+    obs::Span span(metrics.scatter);
+    for (std::size_t r = 0; r < k; ++r) {
+      *to_encode[r]->encoding = std::move(encodings[r]);
+      *to_encode[r]->encoded = true;
+    }
+  }
+
+  // Shared tail forward over every probe's s_t row.
+  std::vector<const seq2seq::HistoryEncoding*> caches(rows);
+  nn::Tensor current({rows, frame});
+  {
+    obs::Span span(metrics.gather);
+    for (std::size_t r = 0; r < rows; ++r) {
+      caches[r] = queue_[r]->encoding;
+      std::memcpy(current.raw() + r * frame, queue_[r]->current_obs->raw(),
+                  frame * sizeof(float));
+    }
+  }
+  nn::Tensor logits = model_.forward_cached_batch(caches, current);
+
+  // Scatter logits and assemble the per-row loss gradients. Forward-only
+  // rows keep a zero gradient row: batch rows are independent through the
+  // whole backward, so the zero rows cost nothing in correctness and keep
+  // the gradient rows' bits identical to their single-row equivalents.
+  bool any_gradient = false;
+  nn::Tensor grad_logits({rows, m, a_count});
+  {
+    obs::Span span(metrics.scatter);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Probe& probe = *queue_[r];
+      float* grad_row = grad_logits.raw() + r * m * a_count;
+      switch (probe.kind) {
+        case ProbeKind::kForward: {
+          probe.logits = nn::Tensor({1, m, a_count});
+          std::memcpy(probe.logits.raw(), logits.raw() + r * m * a_count,
+                      m * a_count * sizeof(float));
+          break;
+        }
+        case ProbeKind::kCeGradient: {
+          any_gradient = true;
+          // Same per-row CE as CraftContext::current_obs_gradient: loss on
+          // the attacked position only, computed from this row's logits.
+          nn::Tensor row_logits({1, m, a_count});
+          std::memcpy(row_logits.raw(), logits.raw() + r * m * a_count,
+                      m * a_count * sizeof(float));
+          std::vector<std::size_t> targets(m, 0);
+          std::vector<float> weights(m, 0.0f);
+          targets[probe.position] = probe.action_a;
+          weights[probe.position] = 1.0f;
+          nn::LossResult loss =
+              nn::softmax_cross_entropy(row_logits, targets, weights);
+          std::memcpy(grad_row, loss.grad.raw(), m * a_count * sizeof(float));
+          break;
+        }
+        case ProbeKind::kDiffGradient: {
+          any_gradient = true;
+          grad_row[probe.position * a_count + probe.action_a] += 1.0f;
+          grad_row[probe.position * a_count + probe.action_b] -= 1.0f;
+          break;
+        }
+        case ProbeKind::kAnchorGradient: {
+          // Fused anchor resolution: the CE target is the argmax of the
+          // logits this same flush just computed — exactly what a kForward
+          // probe followed by a kCeGradient probe would have produced, one
+          // rendezvous round earlier.
+          any_gradient = true;
+          probe.logits = nn::Tensor({1, m, a_count});
+          std::memcpy(probe.logits.raw(), logits.raw() + r * m * a_count,
+                      m * a_count * sizeof(float));
+          const float* row =
+              probe.logits.raw() + probe.position * a_count;
+          const std::size_t anchor = static_cast<std::size_t>(
+              std::max_element(row, row + a_count) - row);
+          std::vector<std::size_t> targets(m, 0);
+          std::vector<float> weights(m, 0.0f);
+          targets[probe.position] = anchor;
+          weights[probe.position] = 1.0f;
+          nn::LossResult loss =
+              nn::softmax_cross_entropy(probe.logits, targets, weights);
+          std::memcpy(grad_row, loss.grad.raw(), m * a_count * sizeof(float));
+          break;
+        }
+      }
+    }
+  }
+
+  if (any_gradient) {
+    model_.zero_grad();  // parameter grads stay clean, as the row path does
+    nn::Tensor grads = model_.backward_to_current_batch(grad_logits);
+    model_.zero_grad();
+    obs::Span span(metrics.scatter);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Probe& probe = *queue_[r];
+      if (probe.kind == ProbeKind::kForward) continue;
+      probe.grad = nn::Tensor({1, frame});
+      std::memcpy(probe.grad.raw(), grads.raw() + r * frame,
+                  frame * sizeof(float));
+    }
+  }
+
+  for (Probe* probe : queue_) probe->done = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+}  // namespace rlattack::attack

@@ -14,6 +14,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rlattack/env/environment.hpp"
 #include "rlattack/seq2seq/model.hpp"
@@ -55,6 +57,8 @@ struct CraftInputs {
 bool craft_cache_enabled() noexcept;
 void set_craft_cache_enabled(bool enabled) noexcept;
 
+class BatchedCraftPlanner;
+
 /// One craft's model-query frontend (the Section 4.4 attack loop). The
 /// histories (A_{t-1}, S_{t-1}) are fixed for the whole craft, so the
 /// context encodes them lazily exactly once — on the first model query, so
@@ -63,9 +67,18 @@ void set_craft_cache_enabled(bool enabled) noexcept;
 /// craft_cache_enabled() off, every query delegates to the full-path free
 /// helpers below, bit-identically. `model` and `inputs` must outlive the
 /// context; one context serves exactly one (A_{t-1}, S_{t-1}) snapshot.
+///
+/// A context constructed over a BatchedCraftPlanner answers the same four
+/// queries with the same bits and the same query accounting, but routes
+/// each one through the planner's rendezvous so concurrent sessions' tail
+/// evaluations fuse into shared batched GEMMs (batch_planner.hpp).
 class CraftContext {
  public:
   CraftContext(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs);
+  /// Planner-backed context: queries become probes batched across every
+  /// enrolled session. The calling thread must hold a live
+  /// BatchedCraftPlanner::Participant for the planner.
+  CraftContext(BatchedCraftPlanner& planner, const CraftInputs& inputs);
   CraftContext(const CraftContext&) = delete;
   CraftContext& operator=(const CraftContext&) = delete;
 
@@ -80,13 +93,25 @@ class CraftContext {
                                   const nn::Tensor& current_obs);
   nn::Tensor logit_diff_gradient(std::size_t position, std::size_t a,
                                  std::size_t b, const nn::Tensor& current_obs);
+  /// predict_actions() and current_obs_gradient() against the predicted
+  /// action at `position`, answered together. Planner-backed contexts fuse
+  /// the two into ONE rendezvous round (the CE target is the argmax of the
+  /// same forward pass the gradient needs — bit-identical to asking
+  /// separately); other contexts just ask sequentially. Query counters are
+  /// incremented exactly as the two separate calls would.
+  std::pair<std::vector<std::size_t>, nn::Tensor> anchored_gradient(
+      std::size_t position, const nn::Tensor& current_obs);
 
  private:
+  friend class BatchedCraftPlanner;
+
   /// forward_cached over the lazily built encoding.
   nn::Tensor cached_logits(const nn::Tensor& current_obs);
 
   seq2seq::Seq2SeqModel& model_;
   const CraftInputs& inputs_;
+  /// Non-null when this context routes through a planner rendezvous.
+  BatchedCraftPlanner* planner_ = nullptr;
   bool use_cache_;      ///< craft_cache_enabled() at construction
   bool encoded_ = false;
   seq2seq::HistoryEncoding encoding_;
@@ -116,6 +141,11 @@ class Attack {
                      env::ObservationBounds bounds, util::Rng& rng);
 
   virtual std::string name() const = 0;
+
+  /// Whether perturb() ever queries the approximator. Model-free attacks
+  /// (Gaussian) return false so the batched drivers never enroll them in a
+  /// planner rendezvous they would only stall.
+  virtual bool uses_model() const noexcept { return true; }
 };
 
 using AttackPtr = std::unique_ptr<Attack>;
@@ -128,6 +158,7 @@ class GaussianAttack final : public Attack {
   nn::Tensor perturb(CraftContext& ctx, const Goal& goal, const Budget& budget,
                      env::ObservationBounds bounds, util::Rng& rng) override;
   std::string name() const override { return "gaussian"; }
+  bool uses_model() const noexcept override { return false; }
 };
 
 /// Single-step fast gradient attack: sign step for L-inf budgets, normalised

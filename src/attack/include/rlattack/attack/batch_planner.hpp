@@ -1,0 +1,131 @@
+// Batched craft substrate: many concurrent craft sessions, one shared tail.
+//
+// Every attack iteration — a PGD step, a CW margin probe, a timebomb
+// trigger craft — asks the approximator the same question with a different
+// s_t row. Run serially those are single-row GEMMs (m = 1) that leave the
+// 6x16 microkernel almost idle; fused across M concurrent sessions they are
+// one [M, F] tail evaluation at full arithmetic intensity. The planner is
+// the rendezvous that performs that fusion without touching attack logic:
+//
+//   - Episode host threads run the unchanged attacks; only CraftContext's
+//     query layer reroutes, submitting one Probe per model query.
+//   - Sessions that may still query enroll a Participant (RAII). A probe
+//     blocks its submitter; when every enrolled participant is waiting, the
+//     last submitter executes the whole queue as one batched
+//     encode_history_batch / forward_cached_batch / backward_to_current_batch
+//     pass on the shared model and wakes everyone with their row.
+//   - Per-row bit-identity of the batched model calls (seq2seq/model.hpp)
+//     makes each probe's answer independent of batch membership, so episode
+//     outcomes are bit-identical to the unbatched drivers no matter how the
+//     flushes interleave.
+//
+// Liveness rule: enroll only sessions whose attack can still query the
+// model (Attack::uses_model, retire after a single-step attack fires) —
+// an enrolled participant that never probes would stall every flush until
+// its episode ends.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "rlattack/attack/attack.hpp"
+
+namespace rlattack::attack {
+
+/// Whether the episode drivers batch concurrent sessions' craft queries
+/// through a BatchedCraftPlanner. On by default; the RLATTACK_CRAFT_BATCH
+/// environment variable sets the process-initial value: "0" disables
+/// (falling back to the per-worker single-row path, bit-identically), any
+/// integer > 1 both enables and overrides the batch width.
+bool craft_batch_enabled() noexcept;
+void set_craft_batch_enabled(bool enabled) noexcept;
+
+/// Concurrent episode hosts a batched driver runs (the flush width upper
+/// bound). Defaults to 32; RLATTACK_CRAFT_BATCH=<int greater than 1>
+/// overrides. Batching is a pure arithmetic-intensity win, so the width is
+/// deliberately decoupled from the machine's thread count (measured on the
+/// 1-core reference box, 32 beats 16 on every fig5/fig6 row and widths
+/// beyond ~32 are flat).
+std::size_t craft_batch_width() noexcept;
+void set_craft_batch_width(std::size_t width) noexcept;
+
+/// Gathers the per-iteration victim probes of M independent CraftContexts
+/// into batched Seq2SeqModel calls and scatters the per-row results back.
+/// The shared model is only ever touched inside a flush, by exactly one
+/// thread at a time — host threads need no model clones. Each session's
+/// query counters and metrics are preserved: CraftContext increments them
+/// at submission exactly as the single-row path does.
+class BatchedCraftPlanner {
+ public:
+  explicit BatchedCraftPlanner(seq2seq::Seq2SeqModel& model);
+  BatchedCraftPlanner(const BatchedCraftPlanner&) = delete;
+  BatchedCraftPlanner& operator=(const BatchedCraftPlanner&) = delete;
+  ~BatchedCraftPlanner();
+
+  seq2seq::Seq2SeqModel& model() noexcept { return model_; }
+
+  /// RAII enrollment of one episode host in the rendezvous. Construct
+  /// before the first probe, destroy (or retire()) as soon as no further
+  /// probes can come — flushes wait for every enrolled participant.
+  class Participant {
+   public:
+    explicit Participant(BatchedCraftPlanner& planner);
+    Participant(const Participant&) = delete;
+    Participant& operator=(const Participant&) = delete;
+    ~Participant();
+
+    /// Early exit from the rendezvous (idempotent): call when the session
+    /// can no longer query the model, e.g. right after a single-step
+    /// attack fires.
+    void retire() noexcept;
+
+   private:
+    BatchedCraftPlanner& planner_;
+    bool retired_ = false;
+  };
+
+ private:
+  friend class CraftContext;
+
+  enum class ProbeKind {
+    kForward,        ///< logits only
+    kCeGradient,     ///< d CE(logits[position], action) / d s_t
+    kDiffGradient,   ///< d (z[p][a] - z[p][b]) / d s_t
+    kAnchorGradient  ///< logits + d CE(logits[position], argmax) / d s_t
+  };
+
+  /// One pending model query. Input fields alias session-owned storage
+  /// (CraftInputs, the context's encoding slot); result fields are written
+  /// by the flushing thread under the planner lock before `done` flips.
+  struct Probe {
+    ProbeKind kind = ProbeKind::kForward;
+    const CraftInputs* inputs = nullptr;
+    seq2seq::HistoryEncoding* encoding = nullptr;  ///< context's cache slot
+    bool* encoded = nullptr;                       ///< context's lazy flag
+    const nn::Tensor* current_obs = nullptr;       ///< [1, F]
+    std::size_t position = 0;
+    std::size_t action_a = 0;  ///< CE target / diff "a"
+    std::size_t action_b = 0;  ///< diff "b"
+    nn::Tensor logits;         ///< [1, m, A] (kForward, kAnchorGradient)
+    nn::Tensor grad;           ///< [1, F] (gradient kinds)
+    bool done = false;
+  };
+
+  /// Blocks the calling participant until a flush answers the probe.
+  void submit(Probe& probe);
+  void enroll();
+  void retire() noexcept;
+  /// Executes every queued probe as one batched model pass. Caller holds
+  /// mu_; all other enrolled participants are parked on cv_.
+  void flush_locked();
+
+  seq2seq::Seq2SeqModel& model_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t enrolled_ = 0;
+  std::vector<Probe*> queue_;
+};
+
+}  // namespace rlattack::attack

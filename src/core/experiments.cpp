@@ -21,16 +21,18 @@ obs::Span experiment_span(const char* metric) {
 
 void finish_timing(ExperimentTiming* timing, obs::Span& span,
                    std::size_t threads, std::size_t episodes,
-                   const char* name) {
+                   std::size_t craft_batch, const char* name) {
   span.stop();
   const double wall = span.seconds();
   if (timing) {
     timing->wall_seconds = wall;
     timing->threads = threads;
     timing->episodes = episodes;
+    timing->craft_batch = craft_batch;
   }
   util::log_info(name, ": ", episodes, " episodes in ", wall, " s (",
-                 threads, " episode workers)");
+                 threads, " episode workers, craft batch ", craft_batch,
+                 ")");
 }
 
 }  // namespace
@@ -100,7 +102,8 @@ std::vector<RewardPoint> run_reward_experiment(
                    cells[c].budget, " -> reward ", point.mean_reward,
                    " +/- ", point.stddev_reward);
   }
-  finish_timing(timing, span, threads, jobs.size(), "reward experiment");
+  finish_timing(timing, span, threads, jobs.size(),
+                resolve_craft_batch(jobs), "reward experiment");
   return points;
 }
 
@@ -162,7 +165,7 @@ std::vector<TransferabilityPoint> run_transferability_experiment(
                    samples, " samples)");
   }
   finish_timing(timing, span, threads, jobs.size(),
-                "transferability experiment");
+                resolve_craft_batch(jobs), "transferability experiment");
   return points;
 }
 
@@ -257,7 +260,8 @@ std::vector<TimeBombPoint> run_timebomb_experiment(
                    config.epsilon_linf, " delay ", delay, " -> rate ",
                    point.success_rate, " (", trials, " trials)");
   }
-  finish_timing(timing, span, threads, jobs.size(), "timebomb experiment");
+  finish_timing(timing, span, threads, jobs.size(),
+                resolve_craft_batch(jobs), "timebomb experiment");
   return points;
 }
 

@@ -34,6 +34,9 @@ struct ExperimentTiming {
   double wall_seconds = 0.0;
   std::size_t threads = 1;   ///< resolved episode-worker count
   std::size_t episodes = 0;  ///< total episodes executed
+  /// Concurrent-host count of the batched craft substrate (0 = the run used
+  /// the unbatched per-episode model path).
+  std::size_t craft_batch = 0;
 };
 
 /// Episode-worker count an experiment driver should use. `requested` > 0
@@ -43,15 +46,39 @@ struct ExperimentTiming {
 /// code path (no clones, no pool dispatch).
 std::size_t resolve_experiment_threads(std::size_t requested);
 
+/// Concurrent-host count the batched craft substrate will use for this job
+/// list: min(attack::craft_batch_width(), jobs.size()) when the substrate
+/// is enabled (RLATTACK_CRAFT_BATCH), the craft cache is on, and at least
+/// two jobs can actually enroll (an attacked policy with a model-querying
+/// attack). 0 means run_episode_jobs takes the unbatched path — the
+/// substrate is off, or the job list cannot form a rendezvous worth the
+/// gather/scatter overhead.
+std::size_t resolve_craft_batch(const std::vector<EpisodeJob>& jobs);
+
 /// Runs every job against (victim, model) for `game`, returning outcomes
 /// indexed by job position.
 ///
-/// threads == 1: jobs run in order on the calling thread against the
-/// original victim and model. threads > 1: min(threads, jobs) workers are
-/// built — each with its own victim/model clone and a per-job
-/// AttackSession + attack instance — and jobs are pulled from a shared
-/// queue over the global pool. Outcomes land at their job index, so the
-/// result vector is identical regardless of scheduling.
+/// Path selection, in precedence order:
+///   1. Batched craft substrate (resolve_craft_batch(jobs) > 0): that many
+///      host threads share ONE attack::BatchedCraftPlanner bound to the
+///      original `model`; every approximator query of every concurrently
+///      running episode lands in one shared tail GEMM batch. Hosts use
+///      pooled victim clones; the model is never cloned (all access is
+///      serialized inside the planner flush). Host count comes from the
+///      substrate width, not `threads` — on a single-core machine the win
+///      is arithmetic intensity, not parallelism.
+///   2. threads == 1: jobs run in order on the calling thread against the
+///      original victim and model (historical serial path).
+///   3. threads > 1: min(threads, jobs) workers — each with its own pooled
+///      victim/model clone and a per-job AttackSession + attack instance —
+///      pull jobs from a shared queue over the global pool.
+///
+/// Worker victim/model clones persist across invocations in a
+/// process-lifetime pool and are re-synchronized in place (reset_from)
+/// instead of reconstructed; concurrent invocations serialize on that
+/// pool. Outcomes land at their job index and every episode is a pure
+/// function of its seed, so the result vector is bit-identical across all
+/// three paths and any thread count.
 std::vector<EpisodeOutcome> run_episode_jobs(
     rl::Agent& victim, env::Game game, seq2seq::Seq2SeqModel& model,
     const std::vector<EpisodeJob>& jobs, std::size_t threads);

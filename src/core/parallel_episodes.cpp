@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 
+#include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/thread_pool.hpp"
@@ -20,11 +23,26 @@ std::size_t resolve_experiment_threads(std::size_t requested) {
   return util::ThreadPool::global().size();
 }
 
+std::size_t resolve_craft_batch(const std::vector<EpisodeJob>& jobs) {
+  if (!attack::craft_batch_enabled() || !attack::craft_cache_enabled())
+    return 0;
+  // A rendezvous needs at least two episodes that will actually query the
+  // approximator; clean runs and Gaussian noise never enroll.
+  std::size_t enrollable = 0;
+  for (const EpisodeJob& job : jobs)
+    if (job.policy.mode != AttackPolicy::Mode::kNone &&
+        job.attack != attack::Kind::kGaussian)
+      ++enrollable;
+  if (enrollable < 2) return 0;
+  const std::size_t hosts = std::min(attack::craft_batch_width(), jobs.size());
+  return hosts >= 2 ? hosts : 0;
+}
+
 namespace {
 
 EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
-                           seq2seq::Seq2SeqModel& model,
-                           const EpisodeJob& job) {
+                           seq2seq::Seq2SeqModel& model, const EpisodeJob& job,
+                           attack::BatchedCraftPlanner* planner = nullptr) {
   static obs::SpanStat& episode_span =
       obs::MetricsRegistry::global().span("phase.episode");
   obs::Span span(episode_span);
@@ -33,7 +51,7 @@ EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
   // the serial drivers historically used.
   attack::AttackPtr attacker = attack::make_attack(job.attack);
   AttackSession session(victim, game, model, *attacker, job.budget);
-  return session.run_episode(job.policy, job.seed);
+  return session.run_episode(job.policy, job.seed, planner);
 }
 
 /// Number of Rng draws hashed per job when cross-checking stream purity in
@@ -54,6 +72,156 @@ std::uint64_t hash_params(const std::vector<nn::Param>& params) {
   return h;
 }
 
+/// Process-lifetime worker pool: one victim clone (and, for the threaded
+/// path, one model clone) per slot, re-synchronized in place on every
+/// acquisition instead of reconstructed. Clone construction costs a full
+/// set of network allocations per episode batch; experiment grids invoke
+/// run_episode_jobs hundreds of times against the same victim/model, so
+/// after warm-up the pool makes those invocations allocation-free (pinned
+/// by the agent/model construction counters in checked tests).
+struct PooledWorker {
+  rl::AgentPtr victim;
+  std::unique_ptr<seq2seq::Seq2SeqModel> model;
+};
+
+struct WorkerPool {
+  std::mutex mu;  ///< held for the whole pooled run, not just acquisition
+  std::vector<PooledWorker> workers;
+};
+
+WorkerPool& worker_pool() {
+  static WorkerPool pool;
+  return pool;
+}
+
+/// Ensures slots [0, count) hold a victim clone of `victim` (and a model
+/// clone of `model` when non-null), reusing existing clones via reset_from
+/// and rebuilding only on architecture mismatch. Caller must hold
+/// worker_pool().mu.
+void sync_workers_locked(rl::Agent& victim, seq2seq::Seq2SeqModel* model,
+                         std::size_t count) {
+  WorkerPool& pool = worker_pool();
+  if (pool.workers.size() < count) pool.workers.resize(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    PooledWorker& slot = pool.workers[w];
+    if (slot.victim != nullptr) {
+      try {
+        slot.victim->reset_from(victim);
+      } catch (const std::logic_error&) {
+        slot.victim = victim.clone();  // architecture changed; rebuild
+      }
+    } else {
+      slot.victim = victim.clone();
+    }
+    if (model == nullptr) continue;
+    if (slot.model != nullptr) {
+      try {
+        slot.model->reset_from(*model);
+      } catch (const std::logic_error&) {
+        slot.model = model->clone();
+      }
+    } else {
+      slot.model = model->clone();
+    }
+  }
+}
+
+/// Checked build: every pooled clone must leave sync bit-identical to its
+/// source — a stale or partially reset clone would silently break the
+/// run-order reduction's bit-identical-rows contract.
+void verify_workers_locked(rl::Agent& victim, seq2seq::Seq2SeqModel* model,
+                           std::size_t count) {
+  const std::uint64_t victim_hash = hash_params(victim.network().params());
+  const std::uint64_t model_hash =
+      model != nullptr ? hash_params(model->params()) : 0;
+  WorkerPool& pool = worker_pool();
+  for (std::size_t w = 0; w < count; ++w) {
+    RLATTACK_CHECK(
+        hash_params(pool.workers[w].victim->network().params()) == victim_hash,
+        "run_episode_jobs: victim clone " + std::to_string(w) +
+            " diverges from source parameters before any job ran");
+    if (model != nullptr) {
+      RLATTACK_CHECK(
+          hash_params(pool.workers[w].model->params()) == model_hash,
+          "run_episode_jobs: model clone " + std::to_string(w) +
+              " diverges from source parameters before any job ran");
+    }
+  }
+}
+
+std::vector<std::uint64_t> checked_stream_hashes(
+    const std::vector<EpisodeJob>& jobs) {
+  std::vector<std::uint64_t> hashes;
+  if constexpr (util::kCheckedBuild) {
+    hashes.reserve(jobs.size());
+    for (const EpisodeJob& job : jobs)
+      hashes.push_back(util::hash_rng_stream(job.seed, kCheckedRngDraws));
+  }
+  return hashes;
+}
+
+void checked_stream_purity(const EpisodeJob& job, std::size_t index,
+                           const std::vector<std::uint64_t>& expected) {
+  if constexpr (util::kCheckedBuild) {
+    // Re-derive the job's RNG stream on the worker that will run it: any
+    // seed-plumbing or shared-state bug that makes the stream depend on
+    // *which* thread executes the job is caught before the episode
+    // contaminates the result vector.
+    RLATTACK_CHECK(
+        util::hash_rng_stream(job.seed, kCheckedRngDraws) == expected[index],
+        "run_episode_jobs: job " + std::to_string(index) +
+            " RNG stream is not a pure function of its seed");
+  }
+}
+
+/// Batched craft substrate: `hosts` plain threads share one planner bound
+/// to the ORIGINAL model. Hosts must NOT be global-pool workers — with a
+/// pool of one thread the first host would block inside the rendezvous
+/// waiting for hosts that never get scheduled. The planner serializes all
+/// model access inside its flush, so the hosts need no model clones; the
+/// inner GEMMs still reach the global pool through its external-submitter
+/// path.
+std::vector<EpisodeOutcome> run_jobs_batched(rl::Agent& victim, env::Game game,
+                                             seq2seq::Seq2SeqModel& model,
+                                             const std::vector<EpisodeJob>& jobs,
+                                             std::size_t hosts) {
+  std::vector<EpisodeOutcome> outcomes(jobs.size());
+  std::lock_guard<std::mutex> pool_lock(worker_pool().mu);
+  sync_workers_locked(victim, /*model=*/nullptr, hosts);
+  if constexpr (util::kCheckedBuild)
+    verify_workers_locked(victim, /*model=*/nullptr, hosts);
+  const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
+
+  attack::BatchedCraftPlanner planner(model);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  {
+    std::vector<std::thread> host_threads;
+    host_threads.reserve(hosts);
+    for (std::size_t h = 0; h < hosts; ++h) {
+      host_threads.emplace_back([&, h] {
+        rl::Agent& host_victim = *worker_pool().workers[h].victim;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          checked_stream_purity(jobs[i], i, expected);
+          outcomes[i] =
+              run_one_job(host_victim, game, model, jobs[i], &planner);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : host_threads) t.join();
+  }
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(completed.load(std::memory_order_relaxed) == jobs.size(),
+                   "run_episode_jobs: " + std::to_string(completed.load()) +
+                       " of " + std::to_string(jobs.size()) +
+                       " jobs completed — outcome vector has holes");
+  }
+  return outcomes;
+}
+
 }  // namespace
 
 std::vector<EpisodeOutcome> run_episode_jobs(
@@ -61,6 +229,14 @@ std::vector<EpisodeOutcome> run_episode_jobs(
     const std::vector<EpisodeJob>& jobs, std::size_t threads) {
   std::vector<EpisodeOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
+
+  const std::size_t batch_hosts = resolve_craft_batch(jobs);
+  if (batch_hosts > 0) {
+    obs::MetricsRegistry::global()
+        .gauge("experiment.workers")
+        .set(static_cast<double>(batch_hosts));
+    return run_jobs_batched(victim, game, model, jobs, batch_hosts);
+  }
 
   const std::size_t workers =
       std::min(threads == 0 ? std::size_t{1} : threads, jobs.size());
@@ -74,67 +250,26 @@ std::vector<EpisodeOutcome> run_episode_jobs(
     return outcomes;
   }
 
-  // One clone pair per worker; cloning costs one parameter copy, amortised
-  // over jobs.size() / workers episodes.
-  struct Worker {
-    rl::AgentPtr victim;
-    std::unique_ptr<seq2seq::Seq2SeqModel> model;
-  };
-  std::vector<Worker> pool_workers;
-  pool_workers.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w)
-    pool_workers.push_back({victim.clone(), model.clone()});
+  // Threaded path: pooled clone pair per worker, jobs pulled dynamically
+  // (episode lengths vary wildly — a successful attack ends CartPole
+  // episodes early — so static slices would load-imbalance).
+  std::lock_guard<std::mutex> pool_lock(worker_pool().mu);
+  sync_workers_locked(victim, &model, workers);
+  if constexpr (util::kCheckedBuild)
+    verify_workers_locked(victim, &model, workers);
+  const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
 
-  // Checked build: the run-order reduction is only bit-identical across
-  // thread counts if (a) every worker clone starts from exactly the source
-  // weights and (b) each job's RNG stream is a pure function of its seed.
-  // Hash both up front so a violation trips here, at the point of
-  // occurrence, instead of surfacing as a mysteriously different CSV row.
-  std::vector<std::uint64_t> expected_stream_hash;
-  if constexpr (util::kCheckedBuild) {
-    const std::uint64_t victim_hash = hash_params(victim.network().params());
-    const std::uint64_t model_hash = hash_params(model.params());
-    for (std::size_t w = 0; w < workers; ++w) {
-      RLATTACK_CHECK(
-          hash_params(pool_workers[w].victim->network().params()) ==
-              victim_hash,
-          "run_episode_jobs: victim clone " + std::to_string(w) +
-              " diverges from source parameters before any job ran");
-      RLATTACK_CHECK(
-          hash_params(pool_workers[w].model->params()) == model_hash,
-          "run_episode_jobs: model clone " + std::to_string(w) +
-              " diverges from source parameters before any job ran");
-    }
-    expected_stream_hash.reserve(jobs.size());
-    for (const EpisodeJob& job : jobs)
-      expected_stream_hash.push_back(
-          util::hash_rng_stream(job.seed, kCheckedRngDraws));
-  }
-
-  // Dynamic scheduling: episode lengths vary wildly (a successful attack
-  // ends CartPole episodes early), so workers pull the next job index from
-  // a shared counter instead of owning a static slice.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   util::ThreadPool::global().parallel_for_chunks(
       workers, 1, [&](std::size_t w, std::size_t, std::size_t) {
-        Worker& worker = pool_workers[w];
+        PooledWorker& worker = worker_pool().workers[w];
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= jobs.size()) return;
-          if constexpr (util::kCheckedBuild) {
-            // Re-derive the job's RNG stream on the worker that will run it:
-            // any seed-plumbing or shared-state bug that makes the stream
-            // depend on *which* thread executes the job is caught before
-            // the episode contaminates the result vector.
-            RLATTACK_CHECK(
-                util::hash_rng_stream(jobs[i].seed, kCheckedRngDraws) ==
-                    expected_stream_hash[i],
-                "run_episode_jobs: job " + std::to_string(i) +
-                    " RNG stream is not a pure function of its seed");
-          }
-          outcomes[i] = run_one_job(*worker.victim, game, *worker.model,
-                                    jobs[i]);
+          checked_stream_purity(jobs[i], i, expected);
+          outcomes[i] =
+              run_one_job(*worker.victim, game, *worker.model, jobs[i]);
           completed.fetch_add(1, std::memory_order_relaxed);
         }
       });

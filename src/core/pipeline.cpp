@@ -1,7 +1,10 @@
 #include "rlattack/core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "rlattack/attack/batch_planner.hpp"
 
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
@@ -60,10 +63,18 @@ std::size_t AttackSession::output_steps() const {
   return model_.config().output_steps;
 }
 
-EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
-                                          std::uint64_t episode_seed) {
+EpisodeOutcome AttackSession::run_episode(
+    const AttackPolicy& policy, std::uint64_t episode_seed,
+    attack::BatchedCraftPlanner* planner) {
   PipelineMetrics& metrics = pipeline_metrics();
   metrics.episodes.add();
+  // Enroll in the batched-craft rendezvous only if this episode can ever
+  // query the approximator — clean runs and model-free attacks would just
+  // stall the other participants' flushes.
+  std::optional<attack::BatchedCraftPlanner::Participant> participant;
+  if (planner != nullptr && policy.mode != AttackPolicy::Mode::kNone &&
+      attack_.uses_model())
+    participant.emplace(*planner);
   raw_env_->seed(episode_seed);
   util::Rng rng(episode_seed ^ 0x5bd1e995u);
   RolloutFifo fifo(model_.config().input_steps, frame_size_,
@@ -99,8 +110,14 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
           fifo.crafting_inputs(frame.reshaped({frame_size_}));
       // One craft context per attacked step: the history encoding built for
       // runner-up target selection below is reused by every iteration of
-      // the attack itself.
-      attack::CraftContext ctx(model_, inputs);
+      // the attack itself. Enrolled episodes craft through the planner so
+      // the encoding and every tail query batch across sessions.
+      std::optional<attack::CraftContext> ctx_storage;
+      if (participant.has_value())
+        ctx_storage.emplace(*planner, inputs);
+      else
+        ctx_storage.emplace(model_, inputs);
+      attack::CraftContext& ctx = *ctx_storage;
       attack::Goal goal;
       goal.mode = policy.goal_mode;
       const std::size_t m = model_.config().output_steps;
@@ -160,6 +177,9 @@ EpisodeOutcome AttackSession::run_episode(const AttackPolicy& policy,
       if (policy.mode == AttackPolicy::Mode::kSingleStep) {
         single_fired = true;
         outcome.fired_step = outcome.steps;
+        // No further queries can come from this episode; leave the
+        // rendezvous so the remaining participants' flushes stop waiting.
+        if (participant.has_value()) participant->retire();
       }
     }
 

@@ -1,8 +1,31 @@
 #include "rlattack/rl/agent.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace rlattack::rl {
+
+namespace {
+std::atomic<std::uint64_t> g_agent_constructions{0};
+}  // namespace
+
+Agent::Agent() {
+  g_agent_constructions.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t agent_constructions() noexcept {
+  return g_agent_constructions.load(std::memory_order_relaxed);
+}
+
+void Agent::reset_from(const Agent& src) {
+  if (algorithm() != src.algorithm() || action_count() != src.action_count())
+    throw std::logic_error("Agent::reset_from: incompatible source agent (" +
+                           src.algorithm() + " vs " + algorithm() + ")");
+  // network() is non-const only because Layer parameter access is; the
+  // source is not mutated.
+  auto& mutable_src = const_cast<Agent&>(src);  // NOLINT
+  nn::copy_parameters(network(), mutable_src.network());
+}
 
 Algorithm parse_algorithm(const std::string& name) {
   if (name == "dqn") return Algorithm::kDqn;

@@ -6,6 +6,7 @@
 // so one trainer loop drives all three algorithms.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -17,7 +18,7 @@ namespace rlattack::rl {
 class Agent {
  public:
   virtual ~Agent() = default;
-  Agent() = default;
+  Agent();
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
 
@@ -53,9 +54,25 @@ class Agent {
   /// is NOT carried over — clones are for evaluation-side fan-out, one per
   /// episode worker, not for resuming training.
   virtual std::unique_ptr<Agent> clone() = 0;
+
+  /// In-place re-synchronisation of an existing evaluation clone with
+  /// `src`: copies the live network parameters (and whatever extra state
+  /// `clone()` would carry, e.g. the Q target network) without allocating a
+  /// new agent. Persistent worker pools use this to reuse one clone per
+  /// worker across experiment invocations instead of reconstructing
+  /// networks per episode batch. Throws std::logic_error if `src` has a
+  /// different algorithm or action count. The base implementation copies
+  /// `network()` parameters only; subclasses override to carry their extra
+  /// clone()-visible state.
+  virtual void reset_from(const Agent& src);
 };
 
 using AgentPtr = std::unique_ptr<Agent>;
+
+/// Total Agent constructions since process start (any subclass). Pinning
+/// tests use deltas of this to assert pooled evaluation paths stop cloning
+/// once warm.
+std::uint64_t agent_constructions() noexcept;
 
 /// Algorithm identifiers matching the paper's three victim trainers.
 enum class Algorithm { kDqn, kA2c, kRainbow };

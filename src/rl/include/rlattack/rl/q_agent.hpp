@@ -75,6 +75,7 @@ class QAgent final : public Agent {
   nn::Layer& network() override { return *online_; }
   std::size_t action_count() const override { return actions_; }
   AgentPtr clone() override;
+  void reset_from(const Agent& src) override;
 
   /// Current exploration epsilon (for diagnostics/tests).
   float epsilon() const noexcept;

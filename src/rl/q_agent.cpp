@@ -74,6 +74,16 @@ AgentPtr QAgent::clone() {
   return copy;
 }
 
+void QAgent::reset_from(const Agent& src) {
+  Agent::reset_from(src);  // validates compatibility, copies online_
+  const auto* q = dynamic_cast<const QAgent*>(&src);
+  if (q == nullptr)
+    throw std::logic_error("QAgent::reset_from: source is not a QAgent");
+  auto& mutable_src = const_cast<QAgent&>(*q);  // NOLINT (see base)
+  nn::copy_parameters(*target_, *mutable_src.target_);
+  env_steps_ = q->env_steps_;  // keeps the epsilon schedule aligned
+}
+
 std::size_t QAgent::act(const nn::Tensor& observation, bool explore) {
   if (explore && rng_.bernoulli(epsilon()))
     return rng_.uniform_int(actions_);

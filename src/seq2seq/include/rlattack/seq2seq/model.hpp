@@ -137,6 +137,41 @@ class Seq2SeqModel {
   /// backward(grad_logits).current_obs.
   nn::Tensor backward_to_current(const nn::Tensor& grad_logits);
 
+  // --- batched craft substrate (multi-session tail evaluation) ---
+  //
+  // N independent batch-1 crafts share one tail evaluation: their s_t rows
+  // are packed into a single [N, F] matrix so the current-obs head, decoder
+  // and output layers run as shared GEMMs with m = N instead of N GEMMs of
+  // m = 1. Every layer on the tail treats batch rows independently and the
+  // GEMM kernels fix each row's K-accumulation order regardless of M, so
+  // row r of the batched result is bit-identical to a single-row
+  // forward_cached(*caches[r], s_r) — tests/seq2seq_batch_test.cpp pins
+  // this across decoders, observation kinds, batch sizes, thread counts and
+  // SIMD kernels.
+
+  /// Runs the history heads once over N packed histories ([N, n, A] /
+  /// [N, n, F]) and splits the result into N batch-1 encodings, each
+  /// bit-identical to encode_history on that row alone.
+  std::vector<HistoryEncoding> encode_history_batch(
+      const nn::Tensor& action_histories, const nn::Tensor& obs_histories);
+
+  /// Batched tail forward: caches[r] (batch 1 each) pairs with row r of
+  /// `current_obs` [N, F]. Gathers the per-encoding history state (and, for
+  /// the attention decoder, the per-encoding encoder/key blocks around the
+  /// per-row score/context GEMMs), evaluates the tail once, and returns
+  /// logits [N, m, A]. Each cache must outlive the call and any
+  /// backward_to_current_batch that follows.
+  nn::Tensor forward_cached_batch(
+      const std::vector<const HistoryEncoding*>& caches,
+      const nn::Tensor& current_obs);
+
+  /// Truncated backward for the batched tail: [N, m, A] loss gradients in,
+  /// [N, F] current-observation gradients out. Row r is bit-identical to a
+  /// single-row backward_to_current of row r's gradient (zero gradient rows
+  /// yield zero output rows without disturbing their neighbours). Call at
+  /// most once per forward_cached_batch.
+  nn::Tensor backward_to_current_batch(const nn::Tensor& grad_logits);
+
   /// All learnable parameters across heads and decoder. Built lazily on
   /// first call and cached (topology is fixed after construction); the
   /// model must not be moved afterwards — the Param views alias member
@@ -151,6 +186,16 @@ class Seq2SeqModel {
   /// caches start empty — one clone per episode worker makes concurrent
   /// attack crafting safe (forward/backward mutate internal caches).
   std::unique_ptr<Seq2SeqModel> clone();
+
+  /// Re-synchronises this instance with `src` (same config) by copying
+  /// parameter tensors in place and dropping any active forward cache —
+  /// no layer reconstruction, no heap allocation. The worker-pool
+  /// counterpart of clone(): clone once, reset_from per run.
+  void reset_from(const Seq2SeqModel& src);
+
+  /// Process-wide count of Seq2SeqModel constructions (clones included).
+  /// The worker-pool pinning test asserts this stays flat across warm runs.
+  static std::uint64_t constructions() noexcept;
 
   const Seq2SeqConfig& config() const noexcept { return config_; }
 
@@ -197,6 +242,14 @@ class Seq2SeqModel {
   /// Encoding used by the last forward_cached; read by backward_to_current,
   /// reset to nullptr by the full forward. Not owned.
   const HistoryEncoding* active_cache_ = nullptr;
+  /// N of the last forward_cached_batch; 0 when the last forward was not a
+  /// batched tail. Gates backward_to_current_batch the way active_cache_
+  /// gates backward_to_current.
+  std::size_t active_batch_ = 0;
+  /// Per-row encoder/key blocks gathered by the last attention-decoder
+  /// forward_cached_batch; read by backward_to_current_batch.
+  nn::Tensor batch_encoder_;  // [N, n, H]
+  nn::Tensor batch_keys_;     // [N, n, E]
   /// Lazily built parameter views (see params()).
   std::vector<nn::Param> params_cache_;
 

@@ -28,6 +28,8 @@ std::atomic<bool> g_attention_gemm = [] {
   return !(env != nullptr && env[0] == '0' && env[1] == '\0');
 }();
 
+std::atomic<std::uint64_t> g_model_constructions{0};
+
 }  // namespace
 
 bool attention_gemm_enabled() noexcept {
@@ -63,8 +65,13 @@ std::size_t append_frame_conv(nn::Sequential& net,
 
 }  // namespace
 
+std::uint64_t Seq2SeqModel::constructions() noexcept {
+  return g_model_constructions.load(std::memory_order_relaxed);
+}
+
 Seq2SeqModel::Seq2SeqModel(Seq2SeqConfig config, std::uint64_t seed)
     : config_(config), seed_(seed) {
+  g_model_constructions.fetch_add(1, std::memory_order_relaxed);
   if (config_.actions == 0) throw std::logic_error("Seq2SeqModel: no actions");
   if (config_.input_steps == 0 || config_.output_steps == 0)
     throw std::logic_error("Seq2SeqModel: zero sequence length");
@@ -160,6 +167,7 @@ nn::Tensor Seq2SeqModel::forward(const nn::Tensor& action_history,
                            current_obs.shape_string());
   cached_batch_ = action_history.dim(0);
   active_cache_ = nullptr;  // this forward pairs with the full backward
+  active_batch_ = 0;
   if constexpr (util::kCheckedBuild) {
     RLATTACK_CHECK(util::all_finite(action_history.data()),
                    "Seq2SeqModel::forward: non-finite action history");
@@ -193,6 +201,9 @@ Seq2SeqModel::InputGrads Seq2SeqModel::backward(const nn::Tensor& grad_logits) {
     RLATTACK_CHECK(active_cache_ == nullptr,
                    "Seq2SeqModel::backward: last forward was forward_cached; "
                    "use backward_to_current");
+    RLATTACK_CHECK(active_batch_ == 0,
+                   "Seq2SeqModel::backward: last forward was "
+                   "forward_cached_batch; use backward_to_current_batch");
   }
   if (config_.use_attention) {
     InputGrads grads = backward_attention(grad_logits);
@@ -605,6 +616,7 @@ nn::Tensor Seq2SeqModel::forward_cached(const HistoryEncoding& cache,
         current_obs.shape_string());
   cached_batch_ = cache.batch;
   active_cache_ = &cache;
+  active_batch_ = 0;
   if (!config_.use_attention) {
     nn::Tensor embedding = cache.history_embedding;
     embedding += current_head_.forward(current_obs);
@@ -658,6 +670,176 @@ nn::Tensor Seq2SeqModel::backward_to_current(const nn::Tensor& grad_logits) {
                    "current-obs gradient");
   }
   return grad_current;
+}
+
+std::vector<HistoryEncoding> Seq2SeqModel::encode_history_batch(
+    const nn::Tensor& action_histories, const nn::Tensor& obs_histories) {
+  // One shared pass over the packed histories; encode_history validates the
+  // shapes and runs the exact layer sequence of the single-row path, whose
+  // batch rows are all independent.
+  HistoryEncoding packed = encode_history(action_histories, obs_histories);
+  const std::size_t rows = packed.batch;
+  const std::size_t n = config_.input_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+  std::vector<HistoryEncoding> out(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    HistoryEncoding& enc = out[r];
+    enc.owner = this;
+    enc.batch = 1;
+    enc.input_steps = n;
+    enc.attention = packed.attention;
+    if (!packed.attention) {
+      enc.history_embedding = nn::Tensor({1, e});
+      std::memcpy(enc.history_embedding.raw(),
+                  packed.history_embedding.raw() + r * e, e * sizeof(float));
+    } else {
+      enc.action_embedding = nn::Tensor({1, e});
+      std::memcpy(enc.action_embedding.raw(),
+                  packed.action_embedding.raw() + r * e, e * sizeof(float));
+      enc.encoder = nn::Tensor({1, n, h});
+      std::memcpy(enc.encoder.raw(), packed.encoder.raw() + r * n * h,
+                  n * h * sizeof(float));
+      enc.keys = nn::Tensor({1, n, e});
+      std::memcpy(enc.keys.raw(), packed.keys.raw() + r * n * e,
+                  n * e * sizeof(float));
+    }
+  }
+  return out;
+}
+
+nn::Tensor Seq2SeqModel::forward_cached_batch(
+    const std::vector<const HistoryEncoding*>& caches,
+    const nn::Tensor& current_obs) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span(
+          "seq2seq.forward_cached_batch");
+  rlattack::obs::Span span(span_stat);
+  const std::size_t rows = caches.size();
+  const std::size_t n = config_.input_steps;
+  const std::size_t e = config_.embed;
+  const std::size_t h = config_.lstm_hidden;
+  if (rows == 0)
+    throw std::logic_error("Seq2SeqModel::forward_cached_batch: empty batch");
+  if (current_obs.rank() != 2 || current_obs.dim(0) != rows ||
+      current_obs.dim(1) != config_.frame_size())
+    throw std::logic_error(
+        "Seq2SeqModel::forward_cached_batch: bad current observations " +
+        current_obs.shape_string());
+  for (const HistoryEncoding* cache : caches) {
+    if (cache == nullptr || !cache->valid() || cache->batch != 1)
+      throw std::logic_error(
+          "Seq2SeqModel::forward_cached_batch: every encoding must be a "
+          "valid batch-1 HistoryEncoding");
+    if constexpr (util::kCheckedBuild) {
+      RLATTACK_CHECK(cache->owner == this,
+                     "Seq2SeqModel::forward_cached_batch: encoding from a "
+                     "different model instance");
+      RLATTACK_CHECK(cache->attention == config_.use_attention,
+                     "Seq2SeqModel::forward_cached_batch: encoding decoder "
+                     "variant does not match the model");
+      RLATTACK_CHECK(cache->input_steps == n,
+                     "Seq2SeqModel::forward_cached_batch: encoding "
+                     "input_steps does not match the model");
+    }
+  }
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(current_obs.data()),
+                   "Seq2SeqModel::forward_cached_batch: non-finite current "
+                   "observations");
+  }
+  cached_batch_ = rows;
+  active_cache_ = nullptr;
+  active_batch_ = rows;
+  // Gather the per-encoding history state into batch rows, then run the
+  // tail exactly as forward_cached does: history embedding first, plus the
+  // current-observation embedding — same per-row accumulation order.
+  nn::Tensor embedding({rows, e});
+  if (!config_.use_attention) {
+    for (std::size_t r = 0; r < rows; ++r)
+      std::memcpy(embedding.raw() + r * e, caches[r]->history_embedding.raw(),
+                  e * sizeof(float));
+    embedding += current_head_.forward(current_obs);
+    return decoder_.forward(repeat_embedding(embedding));  // [N, m, A]
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    std::memcpy(embedding.raw() + r * e, caches[r]->action_embedding.raw(),
+                e * sizeof(float));
+  embedding += current_head_.forward(current_obs);
+  // Per-encoding attention state: the score/context GEMMs inside
+  // decode_attention read only row b's encoder/key block, so gathering the
+  // blocks into [N, n, .] tensors reuses the single-row code bit-for-bit.
+  batch_encoder_ = nn::Tensor({rows, n, h});
+  batch_keys_ = nn::Tensor({rows, n, e});
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::memcpy(batch_encoder_.raw() + r * n * h, caches[r]->encoder.raw(),
+                n * h * sizeof(float));
+    std::memcpy(batch_keys_.raw() + r * n * e, caches[r]->keys.raw(),
+                n * e * sizeof(float));
+  }
+  return decode_attention(embedding, batch_encoder_, batch_keys_);
+}
+
+nn::Tensor Seq2SeqModel::backward_to_current_batch(
+    const nn::Tensor& grad_logits) {
+  static rlattack::obs::SpanStat& span_stat =
+      rlattack::obs::MetricsRegistry::global().span(
+          "seq2seq.backward_to_current_batch");
+  rlattack::obs::Span span(span_stat);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(active_batch_ > 0,
+                   "Seq2SeqModel::backward_to_current_batch: no preceding "
+                   "forward_cached_batch");
+    RLATTACK_CHECK(util::all_finite(grad_logits.data()),
+                   "Seq2SeqModel::backward_to_current_batch: non-finite "
+                   "logits gradient");
+  }
+  if (active_batch_ == 0)
+    throw std::logic_error(
+        "Seq2SeqModel::backward_to_current_batch: call forward_cached_batch "
+        "first");
+  if (grad_logits.rank() != 3 || grad_logits.dim(0) != active_batch_ ||
+      grad_logits.dim(1) != config_.output_steps ||
+      grad_logits.dim(2) != config_.actions)
+    throw std::logic_error(
+        "Seq2SeqModel::backward_to_current_batch: bad gradient shape " +
+        grad_logits.shape_string());
+  active_batch_ = 0;  // one backward per forward_cached_batch
+  nn::Tensor grad_current;
+  if (!config_.use_attention) {
+    nn::Tensor grad_repeated = decoder_.backward(grad_logits);  // [N, m, E]
+    grad_current = current_head_.backward(sum_over_steps(grad_repeated));
+  } else {
+    nn::Tensor grad_concat = output_dense_.backward(grad_logits);
+    nn::Tensor grad_decoder = attention_mix_backward(
+        grad_concat, batch_encoder_, batch_keys_, nullptr, nullptr);
+    nn::Tensor grad_repeated = decoder_lstm_.backward(grad_decoder);
+    grad_current = current_head_.backward(sum_over_steps(grad_repeated));
+  }
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(util::all_finite(grad_current.data()),
+                   "Seq2SeqModel::backward_to_current_batch: non-finite "
+                   "current-obs gradient");
+  }
+  return grad_current;
+}
+
+void Seq2SeqModel::reset_from(const Seq2SeqModel& src) {
+  if (config_.use_attention != src.config_.use_attention ||
+      config_.input_steps != src.config_.input_steps ||
+      config_.output_steps != src.config_.output_steps ||
+      config_.actions != src.config_.actions ||
+      config_.embed != src.config_.embed ||
+      config_.lstm_hidden != src.config_.lstm_hidden ||
+      config_.frame_shape != src.config_.frame_shape)
+    throw std::logic_error("Seq2SeqModel::reset_from: config mismatch");
+  // params() is logically const: it lazily builds views over member tensors
+  // without changing observable model state.
+  auto& mutable_src = const_cast<Seq2SeqModel&>(src);  // NOLINT
+  nn::copy_parameters(params(), mutable_src.params());
+  active_cache_ = nullptr;
+  active_batch_ = 0;
+  seed_ = src.seed_;  // clones of a reset worker rebuild like the source
 }
 
 const std::vector<nn::Param>& Seq2SeqModel::params() {

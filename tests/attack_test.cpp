@@ -5,6 +5,7 @@
 
 #include "gradcheck.hpp"
 #include "rlattack/attack/attack.hpp"
+#include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/seq2seq/trainer.hpp"
 #include "rlattack/util/stats.hpp"
@@ -395,6 +396,42 @@ TEST(Attack, CraftContextMatchesFreeHelpersBitExactly) {
   ASSERT_TRUE(cached_diff.same_shape(full_diff));
   for (std::size_t i = 0; i < full_diff.size(); ++i)
     EXPECT_EQ(cached_diff[i], full_diff[i]) << "diff grad " << i;
+}
+
+TEST(Attack, AnchoredGradientFusedProbeMatchesSeparateQueriesBitExactly) {
+  // A single-participant planner flushes inline on every submit, so the
+  // fused kAnchorGradient probe can be exercised synchronously and compared
+  // against a fresh context asking predict + gradient separately.
+  CraftCacheGuard guard;
+  set_craft_cache_enabled(true);
+  auto model = trained_toy_model(/*m=*/2);
+  util::Rng rng(23);
+  CraftInputs inputs = toy_inputs(rng);
+
+  std::vector<std::size_t> ref_predicted;
+  nn::Tensor ref_grad;
+  {
+    CraftContext ref(*model, inputs);
+    ref_predicted = ref.predict_actions();
+    ref_grad = ref.current_obs_gradient(1, ref_predicted[1],
+                                        inputs.current_obs);
+  }
+
+  BatchedCraftPlanner planner(*model);
+  BatchedCraftPlanner::Participant participant(planner);
+  CraftContext fused(planner, inputs);
+  auto [predicted, grad] = fused.anchored_gradient(1, inputs.current_obs);
+  EXPECT_EQ(predicted, ref_predicted);
+  ASSERT_TRUE(grad.same_shape(ref_grad));
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    EXPECT_EQ(grad[i], ref_grad[i]) << "fused grad " << i;
+
+  // Out-of-range goal positions fail identically to the unfused resolver.
+  EXPECT_THROW(fused.anchored_gradient(2, inputs.current_obs),
+               std::logic_error);
+  CraftContext unfused(*model, inputs);
+  EXPECT_THROW(unfused.anchored_gradient(2, inputs.current_obs),
+               std::logic_error);
 }
 
 TEST(Attack, EveryAttackBitIdenticalWithCacheOnAndOff) {

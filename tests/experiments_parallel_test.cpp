@@ -10,8 +10,11 @@
 
 #include <filesystem>
 
+#include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/core/experiments.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/rl/agent.hpp"
+#include "rlattack/seq2seq/model.hpp"
 
 namespace rlattack::core {
 namespace {
@@ -295,6 +298,100 @@ TEST_F(ExperimentsParallelTest, CraftCacheOnOffRowsBitIdentical) {
           << "variant " << v << " row " << i;
     }
   }
+}
+
+// Batched craft substrate on/off parity: routing every concurrent
+// episode's approximator queries through one shared-GEMM planner flush must
+// leave every experiment row bit-identical to the per-episode model path —
+// across thread counts, and regardless of how the rendezvous happened to
+// interleave the probes.
+TEST_F(ExperimentsParallelTest, CraftBatchOnOffRowsBitIdentical) {
+  const bool saved = attack::craft_batch_enabled();
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  // One single-query attack (FGSM), one iterative (PGD) and the
+  // query-free Gaussian control: flushes mix enrolled probe kinds with
+  // episodes that never enroll at all.
+  cfg.attacks = {attack::Kind::kGaussian, attack::Kind::kFgsm,
+                 attack::Kind::kPgd};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 3000;
+
+  std::vector<std::vector<RewardPoint>> results;  // [on/off][threads 1/4]
+  std::vector<std::size_t> craft_batches;
+  for (bool enabled : {true, false}) {
+    attack::set_craft_batch_enabled(enabled);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      zoo.set_experiment_threads(threads);
+      ExperimentTiming timing;
+      results.push_back(run_reward_experiment(zoo, cfg, &timing));
+      craft_batches.push_back(timing.craft_batch);
+    }
+  }
+  attack::set_craft_batch_enabled(saved);
+
+  // The substrate actually engaged when enabled and stood down when killed.
+  EXPECT_GT(craft_batches[0], 1u);
+  EXPECT_GT(craft_batches[1], 1u);
+  EXPECT_EQ(craft_batches[2], 0u);
+  EXPECT_EQ(craft_batches[3], 0u);
+
+  const auto& reference = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].size(), reference.size()) << "variant " << v;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[v][i].attack, reference[i].attack)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].l2_budget, reference[i].l2_budget)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_reward, reference[i].mean_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].stddev_reward, reference[i].stddev_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_realised_l2, reference[i].mean_realised_l2)
+          << "variant " << v << " row " << i;
+    }
+  }
+}
+
+// Worker-pool pinning: after a warm-up invocation has populated the
+// process-lifetime clone pool, further run_episode_jobs invocations against
+// the same victim/model must construct NO new agents or models — workers
+// are re-synchronized in place (reset_from), not rebuilt.
+TEST_F(ExperimentsParallelTest, WorkerPoolStopsCloningOnceWarm) {
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kFgsm};
+  cfg.l2_budgets = {0.5};
+  cfg.runs = 4;
+  cfg.seed = 4000;
+  zoo.set_experiment_threads(4);
+
+  // Warm-up: trains/loads the zoo artefacts and fills the worker pool for
+  // this (victim, model) architecture under both substrate settings.
+  const bool saved = attack::craft_batch_enabled();
+  const auto reference = run_reward_experiment(zoo, cfg, nullptr);
+  attack::set_craft_batch_enabled(!saved);
+  run_reward_experiment(zoo, cfg, nullptr);
+  attack::set_craft_batch_enabled(saved);
+
+  const std::uint64_t agents_before = rl::agent_constructions();
+  const std::uint64_t models_before = seq2seq::Seq2SeqModel::constructions();
+  const auto warm = run_reward_experiment(zoo, cfg, nullptr);
+  EXPECT_EQ(rl::agent_constructions(), agents_before)
+      << "warm experiment invocation cloned victim agents";
+  EXPECT_EQ(seq2seq::Seq2SeqModel::constructions(), models_before)
+      << "warm experiment invocation cloned approximator models";
+
+  // Reused workers must behave exactly like freshly cloned ones.
+  ASSERT_EQ(warm.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(warm[i].mean_reward, reference[i].mean_reward) << "row " << i;
 }
 
 // The instrumentation that rode along with the experiment above actually
