@@ -15,8 +15,19 @@
 #            (GEMM kernel dispatch, thread pool, episode-parallel drivers)
 #   checked  RLATTACK_CHECKED invariant layer compiled in + full ctest,
 #            including the checked_invariants_test negative suite
-#   tidy     run-clang-tidy over src/ with the repo .clang-tidy; SKIPPED
-#            (not failed) when clang-tidy is not on PATH
+#   tidy     run-clang-tidy over src/, tests/, bench/, apps/, examples/ and
+#            tools/ with the repo .clang-tidy; SKIPPED (not failed) when
+#            clang-tidy is not on PATH
+#   tsa      Clang thread-safety analysis: the whole tree rebuilt with
+#            clang++ -DRLATTACK_TSA=ON (-Wthread-safety -Werror=thread-safety)
+#            so the RLATTACK_GUARDED_BY/REQUIRES annotations are actually
+#            proven; SKIPPED when no clang++ is on PATH
+#   tidy-plugin
+#            builds the in-tree rlattack-tidy module (tools/rlattack-tidy),
+#            runs the rlattack-* checks over the tree and the trip/clean
+#            fixture suite (tests/tidy); SKIPPED when clang-tidy or the
+#            clang-tidy dev headers are unavailable — the gcc-compilable
+#            policy core + selfcheck still build/run in every config
 #   metrics  default build + one short instrumented experiment with
 #            RLATTACK_METRICS_OUT set; validates the exported METRICS JSON
 #            parses and carries the expected kernel/attack/span keys
@@ -37,7 +48,10 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy metrics simd batch)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy tsa tidy-plugin metrics simd batch)
+
+# Directories the static-analysis steps cover (everything with C++ in it).
+TIDY_DIRS=(src tests bench apps examples tools)
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=("${ALL_CONFIGS[@]}")
@@ -178,18 +192,74 @@ run_config() {
         run_logged "${log}" cmake -B build -S . || rc=1
       fi
       if [ ${rc} -eq 0 ]; then
+        local dir_alt
+        dir_alt=$(IFS='|'; echo "${TIDY_DIRS[*]}")
         if command -v run-clang-tidy >/dev/null 2>&1; then
           run_logged "${log}" run-clang-tidy -p build -quiet \
-            "$(pwd)/src/.*\.cpp" || rc=1
+            "$(pwd)/(${dir_alt})/.*\.cpp" || rc=1
         else
-          # Fallback: serial clang-tidy over every src/ translation unit.
+          # Fallback: serial clang-tidy over every covered translation unit.
+          # Only TUs in the compilation database can be linted (fixture
+          # sources under tests/tidy are linted by their own driver).
           local f
           while IFS= read -r f; do
+            grep -q "\"$(pwd)/${f}\"" build/compile_commands.json || continue
             run_logged "${log}" clang-tidy -p build "${f}" || rc=1
-          done < <(find src -name '*.cpp' | sort)
+          done < <(find "${TIDY_DIRS[@]}" -name '*.cpp' | sort)
         fi
       fi
-      DETAIL[${name}]="clang-tidy over src/ (.clang-tidy, WarningsAsErrors=*)"
+      DETAIL[${name}]="clang-tidy over ${TIDY_DIRS[*]} (.clang-tidy, WarningsAsErrors=*)"
+      ;;
+    tsa)
+      # Compile-time proof of the lock discipline declared by the
+      # thread_safety.hpp annotations. Only Clang implements
+      # -Wthread-safety; GCC compiles the attributes to nothing, so a GCC
+      # "pass" would be vacuous — skip instead.
+      if ! command -v clang++ >/dev/null 2>&1; then
+        STATUS[${name}]="skipped"
+        DETAIL[${name}]="clang++ not on PATH"
+        SECONDS_TAKEN[${name}]=0
+        echo "clang++ not on PATH; step skipped" >>"${log}"
+        return 0
+      fi
+      configure_build tsa build-tsa-check "${log}" \
+        -DCMAKE_CXX_COMPILER=clang++ -DRLATTACK_TSA=ON || rc=1
+      DETAIL[${name}]="clang++ -Wthread-safety -Werror=thread-safety full-tree build"
+      ;;
+    tidy-plugin)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        STATUS[${name}]="skipped"
+        DETAIL[${name}]="clang-tidy not on PATH"
+        SECONDS_TAKEN[${name}]=0
+        echo "clang-tidy not on PATH; step skipped" >>"${log}"
+        return 0
+      fi
+      # The default build detects the clang-tidy dev headers and only then
+      # generates the module target (tools/rlattack-tidy/CMakeLists.txt).
+      configure_build tidy-plugin build "${log}" || rc=1
+      local plugin="build/tools/rlattack-tidy/librlattack_tidy.so"
+      if [ ${rc} -eq 0 ] && [ ! -f "${plugin}" ]; then
+        STATUS[${name}]="skipped"
+        DETAIL[${name}]="clang-tidy dev headers absent; plugin module not built"
+        SECONDS_TAKEN[${name}]=0
+        echo "plugin module not built (no clang-tidy dev headers); step skipped" >>"${log}"
+        return 0
+      fi
+      if [ ${rc} -eq 0 ]; then
+        # Trip/clean fixtures first: they prove the checks fire at all, so
+        # a clean sweep over the tree below is meaningful.
+        run_logged "${log}" tests/tidy/run_fixtures.sh "${plugin}" || rc=1
+      fi
+      if [ ${rc} -eq 0 ]; then
+        local f
+        while IFS= read -r f; do
+          grep -q "\"$(pwd)/${f}\"" build/compile_commands.json || continue
+          run_logged "${log}" clang-tidy -p build --load="${plugin}" \
+            --checks='-*,rlattack-*' --warnings-as-errors='rlattack-*' \
+            "${f}" || rc=1
+        done < <(find "${TIDY_DIRS[@]}" -name '*.cpp' | sort)
+      fi
+      DETAIL[${name}]="rlattack-* checks: fixture suite + sweep over ${TIDY_DIRS[*]}"
       ;;
     metrics)
       # Short instrumented experiment: the parallel-experiments test binary

@@ -13,6 +13,7 @@
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/stats.hpp"
 
 namespace rlattack::attack {
@@ -48,8 +49,7 @@ std::atomic<bool>& craft_cache_flag() {
   // Default on; RLATTACK_CRAFT_CACHE=0 starts the process with the cache
   // off (tests flip it per run via set_craft_cache_enabled instead).
   static std::atomic<bool> enabled = [] {
-    const char* env = std::getenv("RLATTACK_CRAFT_CACHE");
-    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+    return !util::env::is_zero(util::env::Var::kCraftCache);
   }();
   return enabled;
 }

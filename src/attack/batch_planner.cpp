@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
+#include "rlattack/util/env.hpp"
+#include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::attack {
 
@@ -24,13 +25,10 @@ struct BatchEnv {
 /// default width.
 BatchEnv parse_batch_env() {
   BatchEnv out;
-  const char* env = std::getenv("RLATTACK_CRAFT_BATCH");
-  if (env == nullptr || *env == '\0') return out;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0') return out;
-  if (v == 0) out.enabled = false;
-  if (v > 1) out.width = static_cast<std::size_t>(v);
+  const std::optional<long> v = util::env::get_long(util::env::Var::kCraftBatch);
+  if (!v) return out;
+  if (*v == 0) out.enabled = false;
+  if (*v > 1) out.width = static_cast<std::size_t>(*v);
   return out;
 }
 
@@ -83,7 +81,7 @@ BatchedCraftPlanner::BatchedCraftPlanner(seq2seq::Seq2SeqModel& model)
 
 BatchedCraftPlanner::~BatchedCraftPlanner() {
   if constexpr (util::kCheckedBuild) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     RLATTACK_CHECK(enrolled_ == 0 && queue_.empty(),
                    "BatchedCraftPlanner destroyed with live participants "
                    "or pending probes");
@@ -104,12 +102,12 @@ void BatchedCraftPlanner::Participant::retire() noexcept {
 }
 
 void BatchedCraftPlanner::enroll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++enrolled_;
 }
 
 void BatchedCraftPlanner::retire() noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if constexpr (util::kCheckedBuild) {
     RLATTACK_CHECK(enrolled_ > 0,
                    "BatchedCraftPlanner::retire: no enrolled participants");
@@ -121,7 +119,18 @@ void BatchedCraftPlanner::retire() noexcept {
 }
 
 void BatchedCraftPlanner::submit(Probe& probe) {
-  std::unique_lock<std::mutex> lock(mu_);
+  if constexpr (util::kCheckedBuild) {
+    // The rendezvous only terminates because every host can block
+    // independently. A global-pool worker that submitted would park a pool
+    // thread inside the rendezvous — with a pool of one that is an
+    // immediate deadlock, with more it silently serializes the kernels the
+    // flush is about to run. Hosts are plain threads (parallel_episodes);
+    // keep it that way.
+    RLATTACK_CHECK(!util::ThreadPool::inside_worker(),
+                   "BatchedCraftPlanner::submit called from a thread-pool "
+                   "worker; rendezvous hosts must be dedicated threads");
+  }
+  util::MutexLock lock(mu_);
   if constexpr (util::kCheckedBuild) {
     // A probe from a thread without a live Participant could make
     // queue_.size() exceed enrolled_ and deadlock the rendezvous.
@@ -136,7 +145,10 @@ void BatchedCraftPlanner::submit(Probe& probe) {
     flush_locked();
     return;
   }
-  cv_.wait(lock, [&] { return probe.done; });
+  // Explicit wait loop: probe.done is written by the flushing thread under
+  // mu_, and reading it here keeps the guarded access inside this annotated
+  // scope (see thread_safety.hpp conventions).
+  while (!probe.done) cv_.wait(lock.native_lock());
 }
 
 void BatchedCraftPlanner::flush_locked() {

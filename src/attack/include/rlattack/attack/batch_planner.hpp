@@ -27,10 +27,10 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "rlattack/attack/attack.hpp"
+#include "rlattack/util/thread_safety.hpp"
 
 namespace rlattack::attack {
 
@@ -113,19 +113,32 @@ class BatchedCraftPlanner {
     bool done = false;
   };
 
+  // Lock protocol, statically enforced (-Wthread-safety, config "tsa"):
+  // the public rendezvous API acquires mu_ itself and therefore must be
+  // entered lock-free (RLATTACK_EXCLUDES — a participant that re-entered
+  // with mu_ held would self-deadlock the flush it is waiting on), while
+  // flush_locked REQUIRES(mu_): the batched model pass runs inline under
+  // the planner mutex, only ever reachable from the last-arriving
+  // submitter or a completing retire — never from a pool worker, which
+  // has no path to mu_ (submit() additionally asserts this in checked
+  // builds).
+
   /// Blocks the calling participant until a flush answers the probe.
-  void submit(Probe& probe);
-  void enroll();
-  void retire() noexcept;
+  void submit(Probe& probe) RLATTACK_EXCLUDES(mu_);
+  void enroll() RLATTACK_EXCLUDES(mu_);
+  void retire() noexcept RLATTACK_EXCLUDES(mu_);
   /// Executes every queued probe as one batched model pass. Caller holds
   /// mu_; all other enrolled participants are parked on cv_.
-  void flush_locked();
+  void flush_locked() RLATTACK_REQUIRES(mu_);
 
   seq2seq::Seq2SeqModel& model_;
-  std::mutex mu_;
+  util::Mutex mu_;
   std::condition_variable cv_;
-  std::size_t enrolled_ = 0;
-  std::vector<Probe*> queue_;
+  /// Participants that may still probe; a flush fires when every one of
+  /// them has a probe queued (queue_.size() == enrolled_).
+  std::size_t enrolled_ RLATTACK_GUARDED_BY(mu_) = 0;
+  /// Pending probes of the rendezvous in arrival order; cleared by flush.
+  std::vector<Probe*> queue_ RLATTACK_GUARDED_BY(mu_);
 };
 
 }  // namespace rlattack::attack

@@ -1,25 +1,23 @@
 #include "rlattack/core/parallel_episodes.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
+#include "rlattack/util/thread_safety.hpp"
 
 namespace rlattack::core {
 
 std::size_t resolve_experiment_threads(std::size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("RLATTACK_EXPERIMENT_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<std::size_t>(v);
-  }
+  if (const std::optional<long> v =
+          util::env::get_long(util::env::Var::kExperimentThreads);
+      v && *v > 0)
+    return static_cast<std::size_t>(*v);
   return util::ThreadPool::global().size();
 }
 
@@ -85,8 +83,9 @@ struct PooledWorker {
 };
 
 struct WorkerPool {
-  std::mutex mu;  ///< held for the whole pooled run, not just acquisition
-  std::vector<PooledWorker> workers;
+  util::Mutex mu;  ///< held for the whole pooled run, not just acquisition
+  /// Clone slots; stable addresses only while mu is held (sync may resize).
+  std::vector<PooledWorker> workers RLATTACK_GUARDED_BY(mu);
 };
 
 WorkerPool& worker_pool() {
@@ -96,11 +95,10 @@ WorkerPool& worker_pool() {
 
 /// Ensures slots [0, count) hold a victim clone of `victim` (and a model
 /// clone of `model` when non-null), reusing existing clones via reset_from
-/// and rebuilding only on architecture mismatch. Caller must hold
-/// worker_pool().mu.
-void sync_workers_locked(rl::Agent& victim, seq2seq::Seq2SeqModel* model,
-                         std::size_t count) {
-  WorkerPool& pool = worker_pool();
+/// and rebuilding only on architecture mismatch.
+void sync_workers_locked(WorkerPool& pool, rl::Agent& victim,
+                         seq2seq::Seq2SeqModel* model, std::size_t count)
+    RLATTACK_REQUIRES(pool.mu) {
   if (pool.workers.size() < count) pool.workers.resize(count);
   for (std::size_t w = 0; w < count; ++w) {
     PooledWorker& slot = pool.workers[w];
@@ -129,12 +127,12 @@ void sync_workers_locked(rl::Agent& victim, seq2seq::Seq2SeqModel* model,
 /// Checked build: every pooled clone must leave sync bit-identical to its
 /// source — a stale or partially reset clone would silently break the
 /// run-order reduction's bit-identical-rows contract.
-void verify_workers_locked(rl::Agent& victim, seq2seq::Seq2SeqModel* model,
-                           std::size_t count) {
+void verify_workers_locked(WorkerPool& pool, rl::Agent& victim,
+                           seq2seq::Seq2SeqModel* model, std::size_t count)
+    RLATTACK_REQUIRES(pool.mu) {
   const std::uint64_t victim_hash = hash_params(victim.network().params());
   const std::uint64_t model_hash =
       model != nullptr ? hash_params(model->params()) : 0;
-  WorkerPool& pool = worker_pool();
   for (std::size_t w = 0; w < count; ++w) {
     RLATTACK_CHECK(
         hash_params(pool.workers[w].victim->network().params()) == victim_hash,
@@ -186,11 +184,19 @@ std::vector<EpisodeOutcome> run_jobs_batched(rl::Agent& victim, env::Game game,
                                              const std::vector<EpisodeJob>& jobs,
                                              std::size_t hosts) {
   std::vector<EpisodeOutcome> outcomes(jobs.size());
-  std::lock_guard<std::mutex> pool_lock(worker_pool().mu);
-  sync_workers_locked(victim, /*model=*/nullptr, hosts);
+  WorkerPool& pool = worker_pool();
+  util::MutexLock pool_lock(pool.mu);
+  sync_workers_locked(pool, victim, /*model=*/nullptr, hosts);
   if constexpr (util::kCheckedBuild)
-    verify_workers_locked(victim, /*model=*/nullptr, hosts);
+    verify_workers_locked(pool, victim, /*model=*/nullptr, hosts);
   const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
+
+  // Hoist each host's victim out of the guarded pool while the lock is
+  // held: the host threads below must not touch pool.workers themselves
+  // (they hold no lock — this function holds mu for them until the join).
+  std::vector<rl::Agent*> host_victims(hosts);
+  for (std::size_t h = 0; h < hosts; ++h)
+    host_victims[h] = pool.workers[h].victim.get();
 
   attack::BatchedCraftPlanner planner(model);
   std::atomic<std::size_t> next{0};
@@ -200,7 +206,7 @@ std::vector<EpisodeOutcome> run_jobs_batched(rl::Agent& victim, env::Game game,
     host_threads.reserve(hosts);
     for (std::size_t h = 0; h < hosts; ++h) {
       host_threads.emplace_back([&, h] {
-        rl::Agent& host_victim = *worker_pool().workers[h].victim;
+        rl::Agent& host_victim = *host_victims[h];
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= jobs.size()) return;
@@ -253,23 +259,32 @@ std::vector<EpisodeOutcome> run_episode_jobs(
   // Threaded path: pooled clone pair per worker, jobs pulled dynamically
   // (episode lengths vary wildly — a successful attack ends CartPole
   // episodes early — so static slices would load-imbalance).
-  std::lock_guard<std::mutex> pool_lock(worker_pool().mu);
-  sync_workers_locked(victim, &model, workers);
+  WorkerPool& pool = worker_pool();
+  util::MutexLock pool_lock(pool.mu);
+  sync_workers_locked(pool, victim, &model, workers);
   if constexpr (util::kCheckedBuild)
-    verify_workers_locked(victim, &model, workers);
+    verify_workers_locked(pool, victim, &model, workers);
   const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
+
+  // Hoisted clone pointers, same reasoning as run_jobs_batched: the chunk
+  // workers run without the lock this function keeps held across the join.
+  std::vector<rl::Agent*> worker_victims(workers);
+  std::vector<seq2seq::Seq2SeqModel*> worker_models(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    worker_victims[w] = pool.workers[w].victim.get();
+    worker_models[w] = pool.workers[w].model.get();
+  }
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   util::ThreadPool::global().parallel_for_chunks(
       workers, 1, [&](std::size_t w, std::size_t, std::size_t) {
-        PooledWorker& worker = worker_pool().workers[w];
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= jobs.size()) return;
           checked_stream_purity(jobs[i], i, expected);
           outcomes[i] =
-              run_one_job(*worker.victim, game, *worker.model, jobs[i]);
+              run_one_job(*worker_victims[w], game, *worker_models[w], jobs[i]);
           completed.fetch_add(1, std::memory_order_relaxed);
         }
       });

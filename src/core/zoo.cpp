@@ -9,6 +9,7 @@
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/trainer.hpp"
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/log.hpp"
 #include "rlattack/util/stats.hpp"
 
@@ -33,12 +34,10 @@ seq2seq::Seq2SeqConfig approx_config(env::Game game, std::size_t actions,
 }  // namespace
 
 double bench_scale_from_env() {
-  const char* raw = std::getenv("RLATTACK_BENCH_SCALE");
-  if (raw == nullptr) return 1.0;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || value <= 0.0) return 1.0;
-  return value;
+  const std::optional<double> value =
+      util::env::get_double(util::env::Var::kBenchScale);
+  if (!value || *value <= 0.0) return 1.0;
+  return *value;
 }
 
 Zoo::Zoo(ZooConfig config) : config_(std::move(config)) {

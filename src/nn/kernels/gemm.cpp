@@ -10,6 +10,7 @@
 
 #include "gemm_internal.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/log.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
@@ -115,7 +116,7 @@ std::atomic<int> g_kernel{-1};
 SimdKernel resolve_simd_kernel() {
   const SimdKernel best = avx2_available() ? SimdKernel::kAvx2
                                            : SimdKernel::kScalar;
-  const char* env = std::getenv("RLATTACK_SIMD");
+  const char* env = util::env::get(util::env::Var::kSimd);
   if (env == nullptr || env[0] == '\0') return best;
   const std::string value(env);
   if (value == "auto") return best;

@@ -35,12 +35,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "rlattack/util/stats.hpp"
 #include "rlattack/util/table.hpp"
+#include "rlattack/util/thread_safety.hpp"
 
 namespace rlattack::obs {
 
@@ -108,7 +108,16 @@ namespace detail {
 /// never false-share.
 inline constexpr std::size_t kSlots = 32;
 
-struct alignas(64) StatSlot {
+/// A capability in its own right: stats/buckets may only be touched between
+/// acquire() and release() (metrics.cpp's SlotLock is the scoped form).
+struct alignas(64) RLATTACK_CAPABILITY("spinlock") StatSlot {
+  void acquire() noexcept RLATTACK_ACQUIRE() {
+    while (lock.test_and_set(std::memory_order_acquire)) {}
+  }
+  void release() noexcept RLATTACK_RELEASE() {
+    lock.clear(std::memory_order_release);
+  }
+
   std::atomic_flag lock;  // C++20: default-initialized clear
   util::RunningStats stats;
   std::vector<std::uint64_t> buckets;  ///< histograms only; else empty
@@ -218,11 +227,18 @@ class MetricsRegistry {
   util::TableWriter to_table() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<SpanStat>> spans_;
+  /// Guards the registration maps only — returned metric handles are
+  /// internally synchronized (atomics / slot spinlocks) and deliberately
+  /// escape the lock, which is what makes the hot path lookup-free.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RLATTACK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      RLATTACK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      RLATTACK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<SpanStat>> spans_
+      RLATTACK_GUARDED_BY(mutex_);
 };
 
 /// Configures the process-exit METRICS export: on normal exit the global

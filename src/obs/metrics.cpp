@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
 namespace rlattack::obs {
@@ -19,12 +21,13 @@ namespace {
 /// Uncontended spinlock over a per-thread StatSlot: one atomic exchange to
 /// acquire. Contention requires more than kSlots live threads hashing onto
 /// the same slot, which the episode/thread-pool layer never produces.
-class SlotLock {
+class RLATTACK_SCOPED_CAPABILITY SlotLock {
  public:
-  explicit SlotLock(detail::StatSlot& slot) noexcept : slot_(slot) {
-    while (slot_.lock.test_and_set(std::memory_order_acquire)) {}
+  explicit SlotLock(detail::StatSlot& slot) noexcept RLATTACK_ACQUIRE(slot)
+      : slot_(slot) {
+    slot_.acquire();
   }
-  ~SlotLock() { slot_.lock.clear(std::memory_order_release); }
+  ~SlotLock() RLATTACK_RELEASE() { slot_.release(); }
   SlotLock(const SlotLock&) = delete;
   SlotLock& operator=(const SlotLock&) = delete;
 
@@ -170,8 +173,8 @@ namespace {
 // structs call MetricsRegistry::global(), which applies RLATTACK_METRICS_OUT
 // immediately), so namespace-scope objects in this TU may not exist yet.
 // Leaking keeps them valid for the atexit hook and late static destructors.
-std::mutex& export_mutex() {
-  static std::mutex* m = new std::mutex;
+util::Mutex& export_mutex() {
+  static util::Mutex* m = new util::Mutex;
   return *m;
 }
 
@@ -203,14 +206,14 @@ MetricsRegistry& MetricsRegistry::global() {
   // through static destruction and the atexit export hook.
   static MetricsRegistry* registry = [] {
     auto* r = new MetricsRegistry;
-    if (const char* env = std::getenv("RLATTACK_METRICS")) {
+    if (const char* env = util::env::get(util::env::Var::kMetrics)) {
       std::string v(env);
       std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
         return static_cast<char>(std::tolower(c));
       });
       if (v == "off" || v == "0" || v == "false") set_metrics_enabled(false);
     }
-    if (const char* out = std::getenv("RLATTACK_METRICS_OUT"))
+    if (const char* out = util::env::get(util::env::Var::kMetricsOut))
       if (*out != '\0') set_export_path(out);
     return r;
   }();
@@ -229,7 +232,7 @@ void check_unclaimed(const std::string& name, bool claimed_elsewhere) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   check_unclaimed(name, gauges_.count(name) || histograms_.count(name) ||
@@ -240,7 +243,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   check_unclaimed(name, counters_.count(name) || histograms_.count(name) ||
@@ -252,7 +255,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     if (it->second->bounds() != bounds)
@@ -268,7 +271,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 SpanStat& MetricsRegistry::span(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = spans_.find(name);
   if (it != spans_.end()) return *it->second;
   check_unclaimed(name, counters_.count(name) || gauges_.count(name) ||
@@ -279,7 +282,7 @@ SpanStat& MetricsRegistry::span(const std::string& name) {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -287,7 +290,7 @@ void MetricsRegistry::reset() {
 }
 
 std::string MetricsRegistry::to_json(const std::string& binary) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\n";
   out << "  \"binary\": \"" << json_escape(binary) << "\",\n";
@@ -372,7 +375,7 @@ bool MetricsRegistry::write_json(const std::string& path,
 }
 
 util::TableWriter MetricsRegistry::to_table() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   util::TableWriter table(
       {"metric", "type", "count", "value", "mean", "min", "max"});
   for (const auto& [name, c] : counters_)
@@ -401,7 +404,7 @@ util::TableWriter MetricsRegistry::to_table() const {
 
 void set_export_path(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(export_mutex());
+    util::MutexLock lock(export_mutex());
     export_path_storage() = path;
   }
   if (!path.empty())
@@ -409,17 +412,17 @@ void set_export_path(const std::string& path) {
 }
 
 std::string export_path() {
-  std::lock_guard<std::mutex> lock(export_mutex());
+  util::MutexLock lock(export_mutex());
   return export_path_storage();
 }
 
 void set_export_binary(const std::string& name) {
-  std::lock_guard<std::mutex> lock(export_mutex());
+  util::MutexLock lock(export_mutex());
   export_binary_storage() = name;
 }
 
 std::string export_binary() {
-  std::lock_guard<std::mutex> lock(export_mutex());
+  util::MutexLock lock(export_mutex());
   return export_binary_storage();
 }
 

@@ -8,6 +8,7 @@
 
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/check.hpp"
+#include "rlattack/util/env.hpp"
 
 #include "rlattack/nn/activations.hpp"
 #include "rlattack/nn/conv2d.hpp"
@@ -24,8 +25,7 @@ using nn::kernels::sgemm;
 using nn::kernels::Trans;
 
 std::atomic<bool> g_attention_gemm = [] {
-  const char* env = std::getenv("RLATTACK_ATTN_GEMM");
-  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  return !util::env::is_zero(util::env::Var::kAttnGemm);
 }();
 
 std::atomic<std::uint64_t> g_model_constructions{0};

@@ -2,17 +2,18 @@
 
 #include <atomic>
 #include <cctype>
-#include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <string>
+
+#include "rlattack/util/env.hpp"
+#include "rlattack/util/thread_safety.hpp"
 
 namespace rlattack::util {
 
 namespace {
 
 LogLevel level_from_env() {
-  const char* env = std::getenv("RLATTACK_LOG_LEVEL");
+  const char* env = env::get(env::Var::kLogLevel);
   if (!env || *env == '\0') return LogLevel::kInfo;
   std::string v(env);
   for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -52,8 +53,8 @@ void emit(LogLevel level, std::string_view msg) {
   std::string line;
   line.reserve(msg.size() + 10);
   line.append("[").append(tag).append("] ").append(msg).append("\n");
-  static std::mutex emit_mutex;
-  std::lock_guard<std::mutex> lock(emit_mutex);
+  static Mutex emit_mutex;
+  MutexLock lock(emit_mutex);
   std::ostream& out = level >= LogLevel::kWarn ? std::cerr : std::clog;
   out << line;
 }

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "rlattack/util/env.hpp"
+#include "rlattack/util/thread_safety.hpp"
 
 namespace rlattack::util {
 
@@ -24,12 +25,9 @@ std::atomic<std::size_t> g_next_thread_index{0};
 thread_local std::size_t tls_thread_index = static_cast<std::size_t>(-1);
 
 std::size_t resolve_thread_count() {
-  if (const char* env = std::getenv("RLATTACK_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<std::size_t>(v);
-  }
+  if (const std::optional<long> v = env::get_long(env::Var::kThreads);
+      v && *v > 0)
+    return static_cast<std::size_t>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;
 }
@@ -42,22 +40,29 @@ struct Job {
   std::size_t nchunks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error RLATTACK_GUARDED_BY(error_mutex);
 
   // Pulls chunks until exhausted; runs on workers and the submitter alike.
-  void drain() {
+  void drain() RLATTACK_EXCLUDES(error_mutex) {
     for (;;) {
       const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= nchunks) return;
       try {
         fn(chunk);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       done.fetch_add(1, std::memory_order_acq_rel);
     }
+  }
+
+  // Only meaningful after the join (every chunk done): no concurrent writer
+  // remains, but the analysis still wants the lock — take it, it is free.
+  std::exception_ptr take_error() RLATTACK_EXCLUDES(error_mutex) {
+    MutexLock lock(error_mutex);
+    return first_error;
   }
 };
 
@@ -72,21 +77,24 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stopping = true;
     }
     wake.notify_all();
     for (std::thread& t : workers) t.join();
   }
 
-  void worker_loop() {
+  void worker_loop() RLATTACK_EXCLUDES(mutex) {
     tls_inside_worker = true;
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        wake.wait(lock, [&] { return stopping || generation != seen; });
+        MutexLock lock(mutex);
+        // Explicit wait loop (not a predicate lambda): `stopping` and
+        // `generation` are guarded reads and must stay in this annotated
+        // scope, where the analysis can see the capability is held.
+        while (!stopping && generation == seen) wake.wait(lock.native_lock());
         if (stopping) return;
         seen = generation;
         job = current;
@@ -96,9 +104,9 @@ struct ThreadPool::Impl {
   }
 
   // Runs one job to completion, helping from the calling thread.
-  void run(const std::shared_ptr<Job>& job) {
+  void run(const std::shared_ptr<Job>& job) RLATTACK_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       current = job;
       ++generation;
     }
@@ -114,17 +122,19 @@ struct ThreadPool::Impl {
     while (job->done.load(std::memory_order_acquire) < job->nchunks)
       std::this_thread::yield();
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       current.reset();
     }
   }
 
   std::vector<std::thread> workers;
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable wake;
-  bool stopping = false;
-  std::shared_ptr<Job> current;    // guarded by mutex
-  std::uint64_t generation = 0;    // guarded by mutex; bumped per job
+  bool stopping RLATTACK_GUARDED_BY(mutex) = false;
+  /// Job workers should drain; reset after the join.
+  std::shared_ptr<Job> current RLATTACK_GUARDED_BY(mutex);
+  /// Bumped per job so a worker can tell a new job from a spurious wake.
+  std::uint64_t generation RLATTACK_GUARDED_BY(mutex) = 0;
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -144,19 +154,19 @@ std::size_t ThreadPool::thread_index() noexcept {
 }
 
 namespace {
-std::mutex g_global_mutex;
-std::unique_ptr<ThreadPool> g_global_pool;
+Mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool RLATTACK_GUARDED_BY(g_global_mutex);
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   if (!g_global_pool)
     g_global_pool = std::make_unique<ThreadPool>(resolve_thread_count());
   return *g_global_pool;
 }
 
 void ThreadPool::reset_global(std::size_t threads) {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   g_global_pool = std::make_unique<ThreadPool>(
       threads == 0 ? resolve_thread_count() : threads);
 }
@@ -172,13 +182,14 @@ void ThreadPool::run_chunked(std::size_t nchunks,
   }
   // parallel_for is synchronous; serialize submitters defensively so two
   // threads cannot interleave job dispatch on one pool.
-  static std::mutex submit_mutex;
-  std::lock_guard<std::mutex> submit_lock(submit_mutex);
+  static Mutex submit_mutex;
+  MutexLock submit_lock(submit_mutex);
   auto job = std::make_shared<Job>();
   job->fn = chunk_fn;
   job->nchunks = nchunks;
   impl_->run(job);
-  if (job->first_error) std::rethrow_exception(job->first_error);
+  if (std::exception_ptr error = job->take_error())
+    std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(

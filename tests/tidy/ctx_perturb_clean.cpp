@@ -1,0 +1,45 @@
+// Fixture: crafting through the virtual CraftContext entry point is the
+// sanctioned pattern and must not trip rlattack-ctx-perturb.
+//
+// STAGE: src/core/driver_clean.cpp
+// EXPECT-CLEAN
+namespace rlattack {
+namespace nn {
+struct Tensor {};
+}  // namespace nn
+namespace util {
+struct Rng {};
+}  // namespace util
+namespace env {
+struct ObservationBounds {};
+}  // namespace env
+namespace seq2seq {
+struct Seq2SeqModel {};
+}  // namespace seq2seq
+namespace attack {
+struct CraftContext {};
+struct CraftInputs {};
+struct Goal {};
+struct Budget {};
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  virtual nn::Tensor perturb(CraftContext& ctx, const Goal& goal,
+                             const Budget& budget,
+                             env::ObservationBounds bounds,
+                             util::Rng& rng) = 0;
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng);
+};
+}  // namespace attack
+}  // namespace rlattack
+
+rlattack::nn::Tensor craft_in_context(rlattack::attack::Attack& attack,
+                                      rlattack::attack::CraftContext& ctx,
+                                      const rlattack::attack::Goal& goal,
+                                      const rlattack::attack::Budget& budget,
+                                      rlattack::env::ObservationBounds bounds,
+                                      rlattack::util::Rng& rng) {
+  return attack.perturb(ctx, goal, budget, bounds, rng);  // virtual: fine
+}

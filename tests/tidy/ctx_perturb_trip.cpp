@@ -1,0 +1,49 @@
+// Fixture: calling the one-shot Attack::perturb(model, inputs, ...) shim
+// from a driver TU must trip rlattack-ctx-perturb.
+//
+// STAGE: src/core/driver_trip.cpp
+// EXPECT: rlattack-ctx-perturb
+//
+// Minimal mirror of the real hierarchy: the check matches the qualified
+// class name and the non-virtual 6-parameter overload, not the headers.
+namespace rlattack {
+namespace nn {
+struct Tensor {};
+}  // namespace nn
+namespace util {
+struct Rng {};
+}  // namespace util
+namespace env {
+struct ObservationBounds {};
+}  // namespace env
+namespace seq2seq {
+struct Seq2SeqModel {};
+}  // namespace seq2seq
+namespace attack {
+struct CraftContext {};
+struct CraftInputs {};
+struct Goal {};
+struct Budget {};
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  virtual nn::Tensor perturb(CraftContext& ctx, const Goal& goal,
+                             const Budget& budget,
+                             env::ObservationBounds bounds,
+                             util::Rng& rng) = 0;
+  nn::Tensor perturb(seq2seq::Seq2SeqModel& model, const CraftInputs& inputs,
+                     const Goal& goal, const Budget& budget,
+                     env::ObservationBounds bounds, util::Rng& rng);
+};
+}  // namespace attack
+}  // namespace rlattack
+
+rlattack::nn::Tensor craft_once(rlattack::attack::Attack& attack,
+                                rlattack::seq2seq::Seq2SeqModel& model,
+                                const rlattack::attack::CraftInputs& inputs,
+                                const rlattack::attack::Goal& goal,
+                                const rlattack::attack::Budget& budget,
+                                rlattack::env::ObservationBounds bounds,
+                                rlattack::util::Rng& rng) {
+  return attack.perturb(model, inputs, goal, budget, bounds, rng);  // trip
+}

@@ -1,0 +1,20 @@
+// Fixture: the telemetry layer measures wall clocks on purpose — the same
+// reads that trip in result-producing code are exempt under src/obs/.
+//
+// STAGE: src/obs/determinism_clean.cpp
+// EXPECT-CLEAN
+#include <chrono>
+#include <map>
+
+long span_clock_read() {
+  return std::chrono::steady_clock::now()  // exempt path: telemetry
+      .time_since_epoch()
+      .count();
+}
+
+double accumulate_ordered(const std::map<int, double>& rewards) {
+  double total = 0.0;
+  for (const auto& entry : rewards)  // ordered container: fine anywhere
+    total += entry.second;
+  return total;
+}

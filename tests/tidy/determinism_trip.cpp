@@ -1,0 +1,27 @@
+// Fixture: ambient entropy / wall-clock reads and unordered-container
+// iteration in result-producing code must trip rlattack-determinism.
+//
+// STAGE: src/core/determinism_trip.cpp
+// EXPECT: rlattack-determinism
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+double accumulate_rewards(const std::unordered_map<int, double>& rewards) {
+  double total = 0.0;
+  for (const auto& entry : rewards)  // trip: hash-order accumulation
+    total += entry.second;
+  return total;
+}
+
+int ambient_noise() {
+  std::random_device device;  // trip: nondeterministic entropy
+  return static_cast<int>(device()) + std::rand();  // trip: rand()
+}
+
+long stamp() {
+  return std::chrono::system_clock::now()  // trip: wall clock
+      .time_since_epoch()
+      .count();
+}

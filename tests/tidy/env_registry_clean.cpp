@@ -1,0 +1,14 @@
+// Fixture: src/util/env.cpp is the one TU allowed to read registered
+// RLATTACK_* variables raw; non-RLATTACK literals are out of scope.
+//
+// STAGE: src/util/env.cpp
+// EXPECT-CLEAN
+#include <cstdlib>
+
+const char* audited_read() {
+  return std::getenv("RLATTACK_THREADS");  // registered + allowed TU
+}
+
+const char* foreign_var() {
+  return std::getenv("HOME");  // not an rlattack knob: not our business
+}

@@ -1,0 +1,15 @@
+// Fixture: an RLATTACK_* getenv literal that is not in the util/env.hpp
+// registry, and a raw read of a registered one outside src/util/env.cpp,
+// must both trip rlattack-env-registry.
+//
+// STAGE: src/core/env_trip.cpp
+// EXPECT: rlattack-env-registry
+#include <cstdlib>
+
+const char* unregistered_knob() {
+  return std::getenv("RLATTACK_NOT_A_REAL_KNOB");  // trip: not in registry
+}
+
+const char* raw_read_of_registered() {
+  return std::getenv("RLATTACK_THREADS");  // trip: bypasses util::env::get
+}

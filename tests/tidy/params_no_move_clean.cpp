@@ -1,0 +1,24 @@
+// Fixture: the sanctioned ways to hold a pinned model — by reference, and
+// behind unique_ptr indirection in containers — must not trip
+// rlattack-params-no-move.
+//
+// STAGE: src/core/params_clean.cpp
+// EXPECT-CLEAN
+#include <memory>
+#include <vector>
+
+namespace rlattack::seq2seq {
+struct Seq2SeqModel {
+  int payload = 0;
+};
+}  // namespace rlattack::seq2seq
+
+using rlattack::seq2seq::Seq2SeqModel;
+
+int read_through_ref(const Seq2SeqModel& model) { return model.payload; }
+
+std::vector<std::unique_ptr<Seq2SeqModel>> g_zoo;  // stable addresses
+
+std::unique_ptr<Seq2SeqModel> make_model() {
+  return std::make_unique<Seq2SeqModel>();
+}

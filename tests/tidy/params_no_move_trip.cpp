@@ -1,0 +1,24 @@
+// Fixture: moving, passing by value, or storing Seq2SeqModel in a
+// std::vector must trip rlattack-params-no-move — the cached params() span
+// binds the object address.
+//
+// STAGE: src/core/params_trip.cpp
+// EXPECT: rlattack-params-no-move
+#include <utility>
+#include <vector>
+
+namespace rlattack::seq2seq {
+struct Seq2SeqModel {
+  int payload = 0;
+};
+}  // namespace rlattack::seq2seq
+
+using rlattack::seq2seq::Seq2SeqModel;
+
+Seq2SeqModel relocate(Seq2SeqModel& model) {
+  return std::move(model);  // trip: std::move of a pinned type
+}
+
+void by_value(Seq2SeqModel model);  // trip: by-value parameter
+
+std::vector<Seq2SeqModel> g_zoo;  // trip: vector storage relocates on growth

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Fixture harness for the rlattack-tidy plugin checks.
+#
+#   run_fixtures.sh <plugin.so> [fixture-dir]
+#
+# Each fixture .cpp declares, in its header comment:
+#   // STAGE: <path>      relative path to lint the fixture under — the
+#                         checks are path-sensitive (allowlists, exemptions),
+#                         and tests/tidy/ itself is an exempt path, so every
+#                         fixture is copied into a temp tree first
+#   // EXPECT: <check>    the named check must fire on the staged file, or
+#   // EXPECT-CLEAN       no rlattack-* diagnostic may fire
+#
+# Exit codes: 0 all fixtures behave, 1 any mismatch or compile error,
+# 77 toolchain unavailable (ctest SKIP_RETURN_CODE; same contract as the
+# tidy/simd configs in run_checks.sh).
+set -u -o pipefail
+
+PLUGIN="${1:?usage: run_fixtures.sh <plugin.so> [fixture-dir]}"
+FIXTURE_DIR="${2:-$(cd "$(dirname "$0")" && pwd)}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "SKIP: ${CLANG_TIDY} not on PATH"
+  exit 77
+fi
+if [ ! -f "${PLUGIN}" ]; then
+  echo "SKIP: plugin ${PLUGIN} not built (clang-tidy dev headers absent)"
+  exit 77
+fi
+# Old clang-tidy builds lack --load; probe before trusting any clean result.
+if ! "${CLANG_TIDY}" --load="${PLUGIN}" --checks='-*,rlattack-*' \
+    --list-checks 2>/dev/null | grep -q 'rlattack-ctx-perturb'; then
+  echo "SKIP: ${CLANG_TIDY} cannot load the rlattack module (no --load support?)"
+  exit 77
+fi
+
+STAGE_ROOT="$(mktemp -d)"
+trap 'rm -rf "${STAGE_ROOT}"' EXIT
+
+failures=0
+ran=0
+for fixture in "${FIXTURE_DIR}"/*.cpp; do
+  stage=$(sed -n 's|^// STAGE: ||p' "${fixture}" | head -n1)
+  expect=$(sed -n 's|^// EXPECT: ||p' "${fixture}" | head -n1)
+  clean=$(grep -c '^// EXPECT-CLEAN' "${fixture}" || true)
+  if [ -z "${stage}" ] || { [ -z "${expect}" ] && [ "${clean}" -eq 0 ]; }; then
+    echo "FAIL: $(basename "${fixture}") missing STAGE/EXPECT directives"
+    failures=$((failures + 1))
+    continue
+  fi
+  staged="${STAGE_ROOT}/${stage}"
+  mkdir -p "$(dirname "${staged}")"
+  cp "${fixture}" "${staged}"
+  # No compilation database on purpose: fixtures are hermetic TUs.
+  out=$("${CLANG_TIDY}" --load="${PLUGIN}" --checks='-*,rlattack-*' \
+        --quiet "${staged}" -- -std=c++20 2>&1)
+  ran=$((ran + 1))
+  if grep -q 'error:' <<<"${out}"; then
+    echo "FAIL: $(basename "${fixture}") does not compile:"
+    echo "${out}"
+    failures=$((failures + 1))
+  elif [ -n "${expect}" ]; then
+    if grep -q "\[${expect}\]" <<<"${out}"; then
+      echo "ok:   $(basename "${fixture}") trips ${expect}"
+    else
+      echo "FAIL: $(basename "${fixture}") expected [${expect}], got:"
+      echo "${out:-<no diagnostics>}"
+      failures=$((failures + 1))
+    fi
+  else
+    if grep -q '\[rlattack-' <<<"${out}"; then
+      echo "FAIL: $(basename "${fixture}") expected clean, got:"
+      echo "${out}"
+      failures=$((failures + 1))
+    else
+      echo "ok:   $(basename "${fixture}") clean"
+    fi
+  fi
+done
+
+if [ "${ran}" -eq 0 ]; then
+  echo "FAIL: no fixtures found in ${FIXTURE_DIR}"
+  exit 1
+fi
+echo "${ran} fixtures, ${failures} failures"
+[ "${failures}" -eq 0 ]

@@ -1,0 +1,31 @@
+// Fixture: the sanctioned Tensor parameter shapes — const reference for
+// reads, by-value only as a consumed sink (moved into storage or returned).
+//
+// STAGE: src/nn/tensor_clean.cpp
+// EXPECT-CLEAN
+#include <utility>
+#include <vector>
+
+namespace rlattack::nn {
+struct Tensor {
+  std::vector<float> data;
+};
+}  // namespace rlattack::nn
+
+using rlattack::nn::Tensor;
+
+float checksum(const Tensor& t) {  // read through const ref
+  float total = 0.0f;
+  for (float x : t.data) total += x;
+  return total;
+}
+
+struct Holder {
+  Tensor stored;
+  explicit Holder(Tensor t) : stored(std::move(t)) {}  // sink: ctor move
+};
+
+Tensor relabel(Tensor t) {
+  t.data.push_back(1.0f);
+  return t;  // sink: returned (implicit move)
+}

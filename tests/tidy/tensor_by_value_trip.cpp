@@ -1,0 +1,21 @@
+// Fixture: a by-value nn::Tensor parameter on a hot path that is neither
+// moved nor returned pays a full frame copy per call — must trip
+// rlattack-tensor-by-value.
+//
+// STAGE: src/nn/tensor_trip.cpp
+// EXPECT: rlattack-tensor-by-value
+#include <vector>
+
+namespace rlattack::nn {
+struct Tensor {
+  std::vector<float> data;
+};
+}  // namespace rlattack::nn
+
+using rlattack::nn::Tensor;
+
+float checksum(Tensor t) {  // trip: read-only by-value copy
+  float total = 0.0f;
+  for (float x : t.data) total += x;
+  return total;
+}

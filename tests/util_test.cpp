@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <string>
+#include <string_view>
 
+#include "rlattack/util/env.hpp"
 #include "rlattack/util/image.hpp"
 #include "rlattack/util/rng.hpp"
 #include "rlattack/util/stats.hpp"
@@ -196,6 +200,42 @@ TEST(Image, RescaleConstantToZero) {
   rescale_to_unit(pixels);
   EXPECT_FLOAT_EQ(pixels[0], 0.0f);
   EXPECT_FLOAT_EQ(pixels[1], 0.0f);
+}
+
+// The env registry is the contract the rlattack-env-registry tidy check and
+// the README table are generated against — pin its invariants. These tests
+// deliberately never call setenv (nothing in the tree does; that is what
+// makes the single audited getenv in env.cpp safe), so they only assert
+// properties that hold for any ambient environment.
+TEST(EnvRegistry, NamesArePrefixedAndUnique) {
+  std::set<std::string> seen;
+  for (const env::VarInfo& info : env::registry()) {
+    EXPECT_TRUE(std::string_view(info.name).starts_with("RLATTACK_"))
+        << info.name;
+    EXPECT_TRUE(seen.insert(info.name).second)
+        << "duplicate env var: " << info.name;
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(EnvRegistry, NameLookupAgreesWithRegistry) {
+  for (const env::VarInfo& info : env::registry())
+    EXPECT_STREQ(env::name(info.var), info.name);
+}
+
+TEST(EnvRegistry, EveryVarIsDocumented) {
+  for (const env::VarInfo& info : env::registry())
+    EXPECT_FALSE(std::string_view(info.doc).empty()) << info.name;
+}
+
+TEST(EnvRegistry, AccessorsAgreeWhenUnset) {
+  for (const env::VarInfo& info : env::registry()) {
+    if (env::get(info.var) != nullptr) continue;  // set in ambient env
+    EXPECT_FALSE(env::is_set(info.var)) << info.name;
+    EXPECT_FALSE(env::get_long(info.var).has_value()) << info.name;
+    EXPECT_FALSE(env::get_double(info.var).has_value()) << info.name;
+    EXPECT_FALSE(env::is_zero(info.var)) << info.name;
+  }
 }
 
 }  // namespace

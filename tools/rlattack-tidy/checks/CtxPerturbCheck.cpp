@@ -1,0 +1,36 @@
+#include "GlueUtil.hpp"
+#include "RlattackTidyChecks.hpp"
+#include "core/check_core.hpp"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rlattack::tidy {
+
+using namespace clang::ast_matchers;
+
+void CtxPerturbCheck::registerMatchers(MatchFinder* finder) {
+  // The convenience shim is the only non-virtual perturb overload on the
+  // Attack hierarchy (6 parameters: model, inputs, goal, budget, bounds,
+  // rng — the virtual entry point takes 5 starting with CraftContext&).
+  finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasName("perturb"), unless(isVirtual()), parameterCountIs(6),
+              ofClass(cxxRecordDecl(isSameOrDerivedFrom(
+                  hasName("::rlattack::attack::Attack")))))))
+          .bind("call"),
+      this);
+}
+
+void CtxPerturbCheck::check(const MatchFinder::MatchResult& result) {
+  const auto* call = result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("call");
+  const std::string path =
+      glue::file_of(*result.SourceManager, call->getBeginLoc());
+  if (ctx_perturb_path_allowed(path)) return;
+  diag(call->getBeginLoc(),
+       "one-shot Attack::perturb(model, inputs, ...) shim called outside "
+       "the allowlist; construct a CraftContext (or take the session's) so "
+       "the history cache and batched planner see this craft");
+}
+
+}  // namespace rlattack::tidy

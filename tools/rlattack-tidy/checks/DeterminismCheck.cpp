@@ -1,0 +1,74 @@
+#include "GlueUtil.hpp"
+#include "RlattackTidyChecks.hpp"
+#include "core/check_core.hpp"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rlattack::tidy {
+
+using namespace clang::ast_matchers;
+
+void DeterminismCheck::registerMatchers(MatchFinder* finder) {
+  finder->addMatcher(
+      callExpr(callee(functionDecl().bind("callee"))).bind("call"), this);
+  finder->addMatcher(varDecl().bind("var"), this);
+  finder->addMatcher(cxxForRangeStmt().bind("loop"), this);
+}
+
+namespace {
+
+/// Plain C names in the ban table ("rand", "time", ...) must only match the
+/// libc function, never an unrelated method or local helper of the same
+/// name: require global/extern-C/std scope for unqualified names.
+bool c_library_scope(const clang::FunctionDecl* fn) {
+  const clang::DeclContext* ctx = fn->getDeclContext();
+  return ctx->isTranslationUnit() || ctx->isExternCContext() ||
+         fn->isInStdNamespace();
+}
+
+}  // namespace
+
+void DeterminismCheck::check(const MatchFinder::MatchResult& result) {
+  const clang::SourceManager& sm = *result.SourceManager;
+  if (const auto* call = result.Nodes.getNodeAs<clang::CallExpr>("call")) {
+    if (determinism_path_exempt(glue::file_of(sm, call->getBeginLoc())))
+      return;
+    const auto* callee = result.Nodes.getNodeAs<clang::FunctionDecl>("callee");
+    const std::string name = glue::qualified_name(callee);
+    if (!is_banned_determinism_callee(name)) return;
+    if (name.find("::") == std::string::npos && !c_library_scope(callee))
+      return;
+    diag(call->getBeginLoc(),
+         "'%0' injects ambient entropy/wall-clock into result-producing "
+         "code; use the seeded util::Rng (randomness) or obs::Span (timing)")
+        << name;
+    return;
+  }
+  if (const auto* var = result.Nodes.getNodeAs<clang::VarDecl>("var")) {
+    const std::string name = glue::record_name(var->getType());
+    if (!is_banned_determinism_type(name)) return;
+    if (determinism_path_exempt(glue::file_of(sm, var->getBeginLoc())))
+      return;
+    diag(var->getBeginLoc(),
+         "%0 is nondeterministic across runs; seed a util::Rng from the "
+         "experiment config instead")
+        << name;
+    return;
+  }
+  if (const auto* loop =
+          result.Nodes.getNodeAs<clang::CXXForRangeStmt>("loop")) {
+    if (determinism_path_exempt(glue::file_of(sm, loop->getBeginLoc())))
+      return;
+    const clang::Expr* range = loop->getRangeInit();
+    if (!range) return;
+    const std::string name = glue::record_name(range->getType());
+    if (name.rfind("std::unordered_", 0) != 0) return;
+    diag(loop->getForLoc(),
+         "iterating %0 visits elements in hash order, which varies across "
+         "libstdc++ versions and inserts; results accumulated from this "
+         "loop are not reproducible — use std::map/std::set or sort first")
+        << name;
+  }
+}
+
+}  // namespace rlattack::tidy

@@ -1,0 +1,44 @@
+#include "GlueUtil.hpp"
+#include "RlattackTidyChecks.hpp"
+#include "core/check_core.hpp"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rlattack::tidy {
+
+using namespace clang::ast_matchers;
+
+void EnvRegistryCheck::registerMatchers(MatchFinder* finder) {
+  finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::getenv", "::std::getenv", "::secure_getenv"))),
+               hasArgument(0, ignoringParenImpCasts(
+                                  stringLiteral().bind("name"))))
+          .bind("call"),
+      this);
+}
+
+void EnvRegistryCheck::check(const MatchFinder::MatchResult& result) {
+  const auto* call = result.Nodes.getNodeAs<clang::CallExpr>("call");
+  const auto* name = result.Nodes.getNodeAs<clang::StringLiteral>("name");
+  if (name->getCharByteWidth() != 1) return;
+  const std::string var = name->getString().str();
+  if (!is_rlattack_env_literal(var)) return;
+  if (!is_registered_env_var(var)) {
+    diag(call->getBeginLoc(),
+         "'%0' is not declared in the util/env.hpp registry; add it to "
+         "RLATTACK_ENV_VARS with a doc string before reading it")
+        << var;
+    return;
+  }
+  const std::string path =
+      glue::file_of(*result.SourceManager, call->getBeginLoc());
+  if (env_read_path_allowed(path)) return;
+  diag(call->getBeginLoc(),
+       "raw getenv(\"%0\") outside src/util/env.cpp; call "
+       "util::env::get(util::env::Var::...) so reads stay auditable and "
+       "the mt-unsafe suppression stays confined to one TU")
+      << var;
+}
+
+}  // namespace rlattack::tidy

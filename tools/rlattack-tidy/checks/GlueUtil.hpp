@@ -1,0 +1,44 @@
+// Small shared helpers for translating AST nodes into the (qualified name,
+// path) vocabulary the policy core speaks.
+#pragma once
+
+#include <string>
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/PrettyPrinter.h"
+#include "clang/AST/Type.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace rlattack::tidy::glue {
+
+/// Qualified name with inline namespaces suppressed, so libstdc++'s
+/// std::chrono::_V2::system_clock and libc++'s std::__1 both print as the
+/// portable spelling the policy tables use.
+inline std::string qualified_name(const clang::NamedDecl* decl) {
+  clang::PrintingPolicy policy(decl->getASTContext().getLangOpts());
+  policy.SuppressInlineNamespace = true;
+  std::string out;
+  llvm::raw_string_ostream os(out);
+  decl->printQualifiedName(os, policy);
+  return os.str();
+}
+
+/// Qualified name of the canonical record behind `type` ("" when the type
+/// is not a class/struct).
+inline std::string record_name(clang::QualType type) {
+  if (type.isNull()) return {};
+  if (const clang::CXXRecordDecl* record =
+          type.getCanonicalType()->getAsCXXRecordDecl())
+    return qualified_name(record);
+  return {};
+}
+
+/// Presumed file path of `loc` after macro expansion ("" for invalid or
+/// buffer-only locations).
+inline std::string file_of(const clang::SourceManager& sm,
+                           clang::SourceLocation loc) {
+  return sm.getFilename(sm.getExpansionLoc(loc)).str();
+}
+
+}  // namespace rlattack::tidy::glue

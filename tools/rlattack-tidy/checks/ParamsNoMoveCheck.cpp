@@ -1,0 +1,98 @@
+#include "GlueUtil.hpp"
+#include "RlattackTidyChecks.hpp"
+#include "core/check_core.hpp"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rlattack::tidy {
+
+using namespace clang::ast_matchers;
+
+void ParamsNoMoveCheck::registerMatchers(MatchFinder* finder) {
+  // std::move of a pinned type (the argument type decides; the cast itself
+  // is harmless, but every real use immediately moves-from).
+  finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::std::move"))),
+               argumentCountIs(1))
+          .bind("move"),
+      this);
+  // Copy/move construction of a pinned type (covers by-value passing,
+  // returns, and container element moves during reallocation).
+  finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           anyOf(isCopyConstructor(), isMoveConstructor()))))
+          .bind("ctor"),
+      this);
+  // Declaring by-value parameters or std::vector storage of a pinned type
+  // is flagged at the declaration, before any move even happens.
+  finder->addMatcher(parmVarDecl().bind("parm"), this);
+  finder->addMatcher(varDecl(unless(parmVarDecl())).bind("var"), this);
+  finder->addMatcher(fieldDecl().bind("field"), this);
+}
+
+namespace {
+
+/// Element type when `type` is a std::vector specialization, null otherwise.
+clang::QualType vector_element(clang::QualType type) {
+  if (type.isNull()) return {};
+  const auto* spec =
+      llvm::dyn_cast_or_null<clang::ClassTemplateSpecializationDecl>(
+          type.getCanonicalType()->getAsCXXRecordDecl());
+  if (!spec || glue::qualified_name(spec) != "std::vector") return {};
+  const clang::TemplateArgumentList& args = spec->getTemplateArgs();
+  if (args.size() == 0 || args[0].getKind() != clang::TemplateArgument::Type)
+    return {};
+  return args[0].getAsType();
+}
+
+}  // namespace
+
+void ParamsNoMoveCheck::check(const MatchFinder::MatchResult& result) {
+  if (const auto* move = result.Nodes.getNodeAs<clang::CallExpr>("move")) {
+    const std::string name = glue::record_name(move->getArg(0)->getType());
+    if (!is_no_move_type(name)) return;
+    diag(move->getBeginLoc(),
+         "std::move of %0 invalidates every cached params() span bound to "
+         "the object; pass by reference instead")
+        << name;
+    return;
+  }
+  if (const auto* ctor =
+          result.Nodes.getNodeAs<clang::CXXConstructExpr>("ctor")) {
+    const std::string name = glue::record_name(ctor->getType());
+    if (!is_no_move_type(name)) return;
+    diag(ctor->getBeginLoc(),
+         "copy/move construction of %0 after cached params() spans bind is "
+         "unsound; hold it by reference or unique_ptr")
+        << name;
+    return;
+  }
+  const clang::SourceManager& sm = *result.SourceManager;
+  if (const auto* parm = result.Nodes.getNodeAs<clang::ParmVarDecl>("parm")) {
+    const clang::QualType type = parm->getType();
+    if (type->isReferenceType() || type->isPointerType()) return;
+    const std::string name = glue::record_name(type);
+    if (!is_no_move_type(name)) return;
+    diag(parm->getBeginLoc(),
+         "by-value %0 parameter copies/moves a type whose cached params() "
+         "span binds its address; take %0& instead")
+        << name;
+    return;
+  }
+  const clang::ValueDecl* storage = nullptr;
+  if (const auto* var = result.Nodes.getNodeAs<clang::VarDecl>("var"))
+    storage = var;
+  else if (const auto* field = result.Nodes.getNodeAs<clang::FieldDecl>("field"))
+    storage = field;
+  if (!storage) return;
+  const std::string elem =
+      glue::record_name(vector_element(storage->getType()));
+  if (!is_no_move_type(elem)) return;
+  (void)sm;
+  diag(storage->getBeginLoc(),
+       "std::vector<%0> relocates elements on growth, invalidating cached "
+       "params() spans; use std::vector<std::unique_ptr<%0>> or std::deque")
+      << elem;
+}
+
+}  // namespace rlattack::tidy

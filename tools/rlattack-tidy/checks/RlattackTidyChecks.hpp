@@ -1,0 +1,71 @@
+// AST-matcher glue for the rlattack-tidy checks. Compiled only when the
+// clang-tidy development headers are present (see ../CMakeLists.txt); all
+// policy decisions are delegated to ../core/check_core.hpp so this layer
+// stays a thin translation from AST nodes to (qualified name, path) queries.
+//
+// Targets the clang-tidy 14+ out-of-tree plugin API: the module below is
+// loaded with `clang-tidy --load=librlattack_tidy.so --checks=rlattack-*`.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace rlattack::tidy {
+
+/// rlattack-ctx-perturb: flags calls to the convenience one-shot
+/// `Attack::perturb(model, inputs, ...)` shim outside the allowlist. The
+/// shim constructs a throwaway CraftContext per call, bypassing the history
+/// cache and the batched planner; production call sites must thread a
+/// CraftContext instead.
+class CtxPerturbCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(clang::ast_matchers::MatchFinder* finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+/// rlattack-params-no-move: flags moves/copies (including by-value
+/// parameters and std::vector storage) of types whose cached params() span
+/// binds the object address (Seq2SeqModel, nn::Sequential).
+class ParamsNoMoveCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(clang::ast_matchers::MatchFinder* finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+/// rlattack-determinism: bans ambient entropy/clock reads and
+/// unordered-container iteration in result-producing code (everything under
+/// src/ except the telemetry layer).
+class DeterminismCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(clang::ast_matchers::MatchFinder* finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+/// rlattack-env-registry: every getenv("RLATTACK_*") literal must name a
+/// variable declared in util/env.hpp, and the only TU allowed to read them
+/// raw is src/util/env.cpp — everyone else goes through util::env::get.
+class EnvRegistryCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(clang::ast_matchers::MatchFinder* finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+/// rlattack-tensor-by-value: flags by-value nn::Tensor parameters on hot
+/// paths unless the function consumes the parameter (moves it or returns
+/// it), which is the sanctioned sink idiom.
+class TensorByValueCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(clang::ast_matchers::MatchFinder* finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+}  // namespace rlattack::tidy

@@ -1,0 +1,38 @@
+// Registers the rlattack-* checks as the "rlattack-module" clang-tidy
+// module. Built as a MODULE library; load with
+//   clang-tidy --load=$BUILD/tools/rlattack-tidy/librlattack_tidy.so \
+//              --checks='-*,rlattack-*' ...
+// (run_checks.sh's tidy-plugin config drives exactly this.)
+#include "RlattackTidyChecks.hpp"
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace rlattack::tidy {
+
+class RlattackTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<CtxPerturbCheck>("rlattack-ctx-perturb");
+    factories.registerCheck<ParamsNoMoveCheck>("rlattack-params-no-move");
+    factories.registerCheck<DeterminismCheck>("rlattack-determinism");
+    factories.registerCheck<EnvRegistryCheck>("rlattack-env-registry");
+    factories.registerCheck<TensorByValueCheck>("rlattack-tensor-by-value");
+  }
+};
+
+}  // namespace rlattack::tidy
+
+namespace clang::tidy {
+
+// NOLINTNEXTLINE(cert-err58-cpp) — standard clang-tidy module registration
+static ClangTidyModuleRegistry::Add<rlattack::tidy::RlattackTidyModule>
+    rlattack_module("rlattack-module",
+                    "rlattack project-specific invariant checks");
+
+/// Anchor so --load keeps the module object file even under aggressive
+/// linker GC (mirrors the in-tree modules' volatile anchor idiom).
+volatile int rlattackTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

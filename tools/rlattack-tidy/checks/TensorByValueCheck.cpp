@@ -1,0 +1,58 @@
+#include "GlueUtil.hpp"
+#include "RlattackTidyChecks.hpp"
+#include "core/check_core.hpp"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rlattack::tidy {
+
+using namespace clang::ast_matchers;
+
+void TensorByValueCheck::registerMatchers(MatchFinder* finder) {
+  finder->addMatcher(
+      parmVarDecl(hasAncestor(functionDecl(isDefinition()).bind("fn")))
+          .bind("parm"),
+      this);
+}
+
+namespace {
+
+/// The sink allowance: a by-value parameter is fine when the function
+/// consumes it — std::moves it (including into a constructor initializer)
+/// or returns it (NRVO/implicit move). Anything else pays a full frame
+/// copy per call for no ownership transfer.
+bool consumes_param(const clang::FunctionDecl* fn,
+                    const clang::ParmVarDecl* parm,
+                    clang::ASTContext& context) {
+  const auto moved = match(
+      decl(hasDescendant(
+          callExpr(callee(functionDecl(hasName("::std::move"))),
+                   hasArgument(0, declRefExpr(to(equalsNode(parm))))))),
+      *fn, context);
+  if (!moved.empty()) return true;
+  const auto returned = match(
+      decl(hasDescendant(returnStmt(hasReturnValue(
+          ignoringParenImpCasts(declRefExpr(to(equalsNode(parm)))))))),
+      *fn, context);
+  return !returned.empty();
+}
+
+}  // namespace
+
+void TensorByValueCheck::check(const MatchFinder::MatchResult& result) {
+  const auto* parm = result.Nodes.getNodeAs<clang::ParmVarDecl>("parm");
+  const auto* fn = result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+  const clang::QualType type = parm->getType();
+  if (type->isReferenceType() || type->isPointerType()) return;
+  if (!is_tensor_type(glue::record_name(type))) return;
+  if (!tensor_hot_path(
+          glue::file_of(*result.SourceManager, parm->getBeginLoc())))
+    return;
+  if (consumes_param(fn, parm, *result.Context)) return;
+  diag(parm->getBeginLoc(),
+       "by-value nn::Tensor parameter on a hot path copies a full frame per "
+       "call; take const nn::Tensor& (or consume it with std::move/return "
+       "if this is a sink)");
+}
+
+}  // namespace rlattack::tidy

@@ -1,0 +1,121 @@
+#include "check_core.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "rlattack/util/env.hpp"
+
+namespace rlattack::tidy {
+
+namespace {
+
+/// True when `path` ends with `suffix` at a path-component boundary (so
+/// "attack.cpp" does not match "counterattack.cpp").
+bool ends_with_component(std::string_view path, std::string_view suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.substr(path.size() - suffix.size()) != suffix) return false;
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool contains_component(std::string_view path, std::string_view part) {
+  return path.find(part) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string normalize_path(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool ctx_perturb_path_allowed(std::string_view path) {
+  const std::string p = normalize_path(path);
+  constexpr std::array<std::string_view, 7> kAllowed = {
+      "src/attack/attack.cpp",
+      "tests/attack_test.cpp",
+      "tests/detector_jsma_test.cpp",
+      "tests/checked_invariants_test.cpp",
+      "bench/bench_micro_nn.cpp",
+      "bench/bench_micro_seq2seq.cpp",
+      "bench/bench_fig3_perturbation.cpp",
+  };
+  return std::any_of(kAllowed.begin(), kAllowed.end(),
+                     [&](std::string_view s) {
+                       return ends_with_component(p, s);
+                     });
+}
+
+bool is_no_move_type(std::string_view qualified_name) {
+  return qualified_name == "rlattack::seq2seq::Seq2SeqModel" ||
+         qualified_name == "rlattack::nn::Sequential";
+}
+
+bool is_banned_determinism_callee(std::string_view qualified_name) {
+  constexpr std::array<std::string_view, 8> kBanned = {
+      "rand",
+      "srand",
+      "time",
+      "gettimeofday",
+      "clock",
+      "timespec_get",
+      // Wall clocks. steady_clock is monotonic but still host-dependent;
+      // result-producing code has no business reading any clock — timing
+      // belongs to obs::Span (src/obs, exempt).
+      "std::chrono::system_clock::now",
+      "std::chrono::high_resolution_clock::now",
+  };
+  // The C names may resolve as "rand" or "std::rand" depending on whether
+  // <cstdlib> re-exports or redeclares; accept the single-component std::
+  // spelling too (chrono entries keep their full path).
+  std::string_view base = qualified_name;
+  if (base.substr(0, 5) == "std::" &&
+      base.find("::", 5) == std::string_view::npos)
+    base.remove_prefix(5);
+  if (std::find(kBanned.begin(), kBanned.end(), base) != kBanned.end())
+    return true;
+  return qualified_name == "std::chrono::steady_clock::now";
+}
+
+bool is_banned_determinism_type(std::string_view qualified_name) {
+  return qualified_name == "std::random_device";
+}
+
+bool determinism_path_exempt(std::string_view path) {
+  const std::string p = normalize_path(path);
+  return contains_component(p, "src/obs/") ||
+         contains_component(p, "/bench/") ||
+         contains_component(p, "/tests/") ||
+         contains_component(p, "/tools/") ||
+         contains_component(p, "/apps/") ||
+         contains_component(p, "/examples/");
+}
+
+bool is_rlattack_env_literal(std::string_view name) {
+  return name.substr(0, 9) == "RLATTACK_";
+}
+
+bool is_registered_env_var(std::string_view name) {
+  for (const util::env::VarInfo& info : util::env::registry())
+    if (name == info.name) return true;
+  return false;
+}
+
+bool env_read_path_allowed(std::string_view path) {
+  return ends_with_component(normalize_path(path), "src/util/env.cpp");
+}
+
+bool is_tensor_type(std::string_view qualified_name) {
+  return qualified_name == "rlattack::nn::Tensor";
+}
+
+bool tensor_hot_path(std::string_view path) {
+  const std::string p = normalize_path(path);
+  if (!contains_component(p, "/src/") && p.substr(0, 4) != "src/")
+    return false;
+  return !contains_component(p, "src/obs/") &&
+         !contains_component(p, "src/util/");
+}
+
+}  // namespace rlattack::tidy

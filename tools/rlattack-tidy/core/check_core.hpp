@@ -1,0 +1,92 @@
+// Policy core of the rlattack-tidy checks: every allowlist, banned-name
+// table and path classification lives here as plain C++ with no Clang
+// dependency.
+//
+// Why the split: the AST-matcher glue (../checks/) can only compile on a
+// host with clang-tidy development headers, which CI images do not always
+// carry. The policy — *what* each check accepts and rejects — is the part
+// that must not bit-rot, so it compiles everywhere: this core is built into
+// the always-on `rlattack_tidy_core` library, exercised by the werror
+// config and by the `rlattack_tidy_core_selfcheck` ctest on every build,
+// clang or not. The plugin links the same objects, so a policy change is
+// impossible to land untested even when the AST glue is not compiled.
+//
+// Paths are matched by normalized suffix/substring so the same tables work
+// for clang's absolute paths and the fixtures' relative ones.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rlattack::tidy {
+
+/// Backslashes to forward slashes (clang on some hosts reports mixed
+/// separators for headers found through -I).
+std::string normalize_path(std::string_view path);
+
+// --- rlattack-ctx-perturb --------------------------------------------------
+
+/// True when `path` may call the convenience `Attack::perturb(model,
+/// inputs, ...)` shim. Everyone else must construct a CraftContext (or take
+/// one from the session) so query-budget accounting and the craft cache see
+/// every victim probe. The allowlist is the closed set of one-shot callers:
+///  - src/attack/attack.cpp        the shim's own definition/delegation
+///  - tests/attack_test.cpp,
+///    tests/detector_jsma_test.cpp unit tests of the attack math itself —
+///                                  single crafts with no session to account
+///  - tests/checked_invariants_test.cpp   negative suite probes the shim
+///  - bench/bench_micro_nn.cpp,
+///    bench/bench_micro_seq2seq.cpp one-shot craft microbenches measure the
+///                                  context construction they time
+///  - bench/bench_fig3_perturbation.cpp   single-frame figure render
+/// Drivers and experiment code are deliberately absent: they must thread
+/// the session's CraftContext.
+bool ctx_perturb_path_allowed(std::string_view path);
+
+// --- rlattack-params-no-move -----------------------------------------------
+
+/// Types whose cached params() span binds the object address: optimizers
+/// and the craft cache hold nn::Param views into these, so moving or
+/// copying one after construction silently invalidates every bound span.
+bool is_no_move_type(std::string_view qualified_name);
+
+// --- rlattack-determinism --------------------------------------------------
+
+/// Callees banned in result-producing code: nondeterministic entropy or
+/// clock reads whose value could leak into an experiment row. The seeded
+/// util::Rng and the obs::Span timers are the sanctioned alternatives.
+bool is_banned_determinism_callee(std::string_view qualified_name);
+
+/// Record types whose construction is banned (std::random_device).
+bool is_banned_determinism_type(std::string_view qualified_name);
+
+/// Paths where nondeterminism is the point and the check stays silent:
+/// src/obs (telemetry measures wall clocks), bench/ and tests/ (harnesses
+/// time and perturb freely), tools/, apps/, examples/ (drivers, not rows).
+/// Everything else under src/ is result-producing.
+bool determinism_path_exempt(std::string_view path);
+
+// --- rlattack-env-registry -------------------------------------------------
+
+/// True for literals spelled like an rlattack env knob ("RLATTACK_" prefix).
+bool is_rlattack_env_literal(std::string_view name);
+
+/// True when `name` is declared in the util/env.hpp registry. Kept in sync
+/// by construction: the implementation iterates util::env::registry().
+bool is_registered_env_var(std::string_view name);
+
+/// The one TU allowed to call getenv on RLATTACK_* literals directly.
+bool env_read_path_allowed(std::string_view path);
+
+// --- rlattack-tensor-by-value ----------------------------------------------
+
+/// True for the qualified name of the tensor type the check guards.
+bool is_tensor_type(std::string_view qualified_name);
+
+/// Hot-path classification: every compute subsystem under src/ except the
+/// telemetry layer (src/obs) and src/util. A by-value nn::Tensor parameter
+/// there is a full frame copy per call unless the function consumes it
+/// (moves it or returns it), which the check allows as the sink idiom.
+bool tensor_hot_path(std::string_view path);
+
+}  // namespace rlattack::tidy

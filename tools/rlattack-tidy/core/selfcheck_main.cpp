@@ -1,0 +1,87 @@
+// Always-built self-check of the rlattack-tidy policy core. Runs as the
+// `rlattack_tidy_core_selfcheck` ctest on every host, clang or not, so the
+// allowlists/ban tables cannot drift unexercised when the AST glue is not
+// compiled (the tidy-plugin config is "skipped" without clang dev headers).
+//
+// Plain asserts on purpose: this binary must stay buildable with zero
+// dependencies beyond the core and util::env.
+#undef NDEBUG
+#include <cassert>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "check_core.hpp"
+#include "rlattack/util/env.hpp"
+
+int main() {
+  using namespace rlattack::tidy;
+
+  // Path normalization.
+  assert(normalize_path("a\\b\\c.cpp") == "a/b/c.cpp");
+
+  // ctx-perturb allowlist: the shim's own TU and the two microbenches pass,
+  // drivers and attacks do not; component boundaries are respected.
+  assert(ctx_perturb_path_allowed("/root/repo/src/attack/attack.cpp"));
+  assert(ctx_perturb_path_allowed("bench/bench_micro_nn.cpp"));
+  assert(ctx_perturb_path_allowed("bench/bench_micro_seq2seq.cpp"));
+  assert(ctx_perturb_path_allowed("bench/bench_fig3_perturbation.cpp"));
+  assert(ctx_perturb_path_allowed("tests/attack_test.cpp"));
+  assert(ctx_perturb_path_allowed("tests/detector_jsma_test.cpp"));
+  assert(ctx_perturb_path_allowed("tests/checked_invariants_test.cpp"));
+  assert(!ctx_perturb_path_allowed("/repo/src/core/pipeline.cpp"));
+  assert(!ctx_perturb_path_allowed("src/attack/counterattack.cpp"));
+  assert(!ctx_perturb_path_allowed("tests/tidy/ctx_perturb_trip.cpp"));
+
+  // params-no-move type set.
+  assert(is_no_move_type("rlattack::seq2seq::Seq2SeqModel"));
+  assert(is_no_move_type("rlattack::nn::Sequential"));
+  assert(!is_no_move_type("rlattack::nn::Tensor"));
+
+  // determinism ban tables.
+  assert(is_banned_determinism_callee("rand"));
+  assert(is_banned_determinism_callee("std::rand"));
+  assert(is_banned_determinism_callee("srand"));
+  assert(is_banned_determinism_callee("time"));
+  assert(is_banned_determinism_callee("std::time"));
+  assert(!is_banned_determinism_callee("std::chrono::time"));
+  assert(is_banned_determinism_callee("std::chrono::system_clock::now"));
+  assert(is_banned_determinism_callee("std::chrono::steady_clock::now"));
+  assert(!is_banned_determinism_callee("rlattack::util::Rng::uniform"));
+  assert(is_banned_determinism_type("std::random_device"));
+  assert(!is_banned_determinism_type("rlattack::util::Rng"));
+  assert(determinism_path_exempt("/repo/src/obs/metrics.cpp"));
+  assert(determinism_path_exempt("/repo/bench/bench_00_warmup.cpp"));
+  assert(determinism_path_exempt("/repo/tests/util_test.cpp"));
+  assert(!determinism_path_exempt("/repo/src/core/experiments.cpp"));
+  assert(!determinism_path_exempt("/repo/src/nn/tensor.cpp"));
+
+  // env-registry: every registry row is an RLATTACK_* name, names are
+  // unique, and the lookup agrees with the registry it is built from.
+  std::set<std::string> names;
+  for (const rlattack::util::env::VarInfo& info :
+       rlattack::util::env::registry()) {
+    assert(is_rlattack_env_literal(info.name));
+    assert(is_registered_env_var(info.name));
+    assert(names.insert(info.name).second && "duplicate env var name");
+    assert(std::string_view(info.doc).size() > 0);
+  }
+  assert(!is_registered_env_var("RLATTACK_NOT_A_REAL_KNOB"));
+  assert(!is_rlattack_env_literal("PATH"));
+  assert(env_read_path_allowed("/repo/src/util/env.cpp"));
+  assert(!env_read_path_allowed("/repo/src/util/log.cpp"));
+
+  // tensor-by-value hot-path classification.
+  assert(tensor_hot_path("/repo/src/nn/dense.cpp"));
+  assert(tensor_hot_path("src/seq2seq/model.cpp"));
+  assert(tensor_hot_path("/repo/src/attack/attack.cpp"));
+  assert(!tensor_hot_path("/repo/src/obs/metrics.cpp"));
+  assert(!tensor_hot_path("/repo/src/util/table.cpp"));
+  assert(!tensor_hot_path("/repo/tests/tensor_test.cpp"));
+  assert(is_tensor_type("rlattack::nn::Tensor"));
+  assert(!is_tensor_type("rlattack::nn::Param"));
+
+  std::puts("rlattack-tidy core selfcheck: all assertions passed");
+  return 0;
+}
