@@ -24,7 +24,9 @@
 #include "rlattack/env/factory.hpp"
 #include "rlattack/env/trace_io.hpp"
 #include "rlattack/nn/serialize.hpp"
+#include "rlattack/obs/forensics.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/rl/factory.hpp"
 #include "rlattack/rl/trainer.hpp"
 #include "rlattack/seq2seq/trainer.hpp"
@@ -41,7 +43,12 @@ int usage(const std::string& program) {
       << " <train|eval|observe|approximate|attack|timebomb|table1> "
          "[--options]\n"
          "global: --metrics-out <path> writes telemetry (METRICS JSON) at "
-         "exit.\n"
+         "exit;\n"
+         "  --trace-out <path> writes a Chrome/Perfetto timeline trace at "
+         "exit\n"
+         "  (and enables tracing); --forensics-out <path> writes the "
+         "per-step\n"
+         "  attack forensics JSONL at exit (and enables the stream).\n"
          "run with a subcommand and no options to see its defaults in use;\n"
          "see the header of apps/rlattack_cli.cpp for full examples.\n";
   return 2;
@@ -286,6 +293,19 @@ int main(int argc, char** argv) {
     obs::set_export_binary("rlattack_cli");
     if (args.has("metrics-out"))
       obs::set_export_path(args.get("metrics-out", ""));
+    // CliArgs stores "true" for a bare switch; both flags accept that form
+    // and fall back to a default path keyed on the binary name.
+    if (args.has("trace-out")) {
+      std::string path = args.get("trace-out", "");
+      if (path.empty() || path == "true") path = "rlattack_cli_trace.json";
+      obs::set_trace_path(path);
+      obs::set_trace_enabled(true);
+    }
+    if (args.has("forensics-out")) {
+      std::string path = args.get("forensics-out", "");
+      if (path.empty() || path == "true") path = "rlattack_cli_forensics.jsonl";
+      obs::set_forensics_path(path);
+    }
     if (args.command() == "train") return cmd_train(args);
     if (args.command() == "eval") return cmd_eval(args);
     if (args.command() == "observe") return cmd_observe(args);

@@ -9,20 +9,37 @@
 
 #include "rlattack/core/experiments.hpp"
 #include "rlattack/core/zoo.hpp"
+#include "rlattack/obs/forensics.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/util/table.hpp"
 
 namespace rlattack::bench {
 
-/// Wires --metrics-out <path> (or the RLATTACK_METRICS_OUT env var, handled
-/// by the registry itself) to the process-exit METRICS export and stamps the
-/// binary name into the JSON. Call first thing in every bench main.
+/// Wires the observability flags to their process-exit exports and stamps
+/// the binary name into the JSON. Call first thing in every bench main.
+///   --metrics-out <path>      METRICS JSON (RLATTACK_METRICS_OUT equivalent)
+///   --trace-out [path]        Chrome/Perfetto trace JSON; enables tracing.
+///                             Bare flag defaults to <binary>_trace.json.
+///   --forensics-out [path]    per-step forensics JSONL; enables the stream.
+///                             Bare flag defaults to <binary>_forensics.jsonl.
 inline void init_metrics(int argc, char** argv, const std::string& binary) {
   obs::set_export_binary(binary);
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--metrics-out") {
+  // A flag's [path] operand is the next argv unless that is missing or
+  // itself a flag — then the default path keyed on the binary name is used.
+  const auto optional_path = [&](int i, const std::string& fallback) {
+    if (i + 1 < argc && argv[i + 1][0] != '-') return std::string(argv[i + 1]);
+    return fallback;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--metrics-out" && i + 1 < argc) {
       obs::set_export_path(argv[i + 1]);
-      return;
+    } else if (arg == "--trace-out") {
+      obs::set_trace_path(optional_path(i, binary + "_trace.json"));
+      obs::set_trace_enabled(true);
+    } else if (arg == "--forensics-out") {
+      obs::set_forensics_path(optional_path(i, binary + "_forensics.jsonl"));
     }
   }
 }

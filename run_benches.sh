@@ -31,6 +31,10 @@ run_one() {
   awk -v a="$_start" -v b="$_end" 'BEGIN { printf "%.2f", b - a }'
 }
 
+# Every bench binary must leave a non-empty telemetry export behind; a bench
+# that crashed before its exit hook (or a broken exporter) fails the script
+# rather than silently shrinking METRICS.json.
+_missing_exports=""
 for b in build/bench/*; do
   { [ -f "$b" ] && [ -x "$b" ]; } || continue
   # The primary run exports its telemetry at exit; comparison re-runs below
@@ -42,6 +46,11 @@ for b in build/bench/*; do
     serial=$(RLATTACK_EXPERIMENT_THREADS=1 run_one "$b")
   fi
   echo "$(basename "$b"),$wall,$serial" >> bench_times.csv
+  if [ ! -s "metrics-out/$(basename "$b").json" ]; then
+    _missing_exports="$_missing_exports $(basename "$b")"
+    echo "ERROR: $(basename "$b") produced no metrics export" \
+      >> bench_output.txt
+  fi
 done
 
 # Assemble the per-binary telemetry objects into one METRICS.json array,
@@ -57,6 +66,28 @@ done
   done
   echo "]"
 } > METRICS.json
+
+# Record the assembly verdict in CHECKS.json so consumers see a truncated
+# METRICS.json as a named failure, not a shorter array.
+if command -v python3 >/dev/null 2>&1; then
+  RLATTACK_MISSING_EXPORTS="$_missing_exports" python3 - <<'EOF'
+import json, os
+missing = os.environ.get("RLATTACK_MISSING_EXPORTS", "").split()
+report = {"tool": "run_benches.sh",
+          "status": "missing_exports" if missing else "ok",
+          "missing_exports": missing}
+doc = {}
+if os.path.exists("CHECKS.json"):
+    try:
+        doc = json.load(open("CHECKS.json"))
+    except ValueError:
+        doc = {}
+doc["metrics_assembly"] = report
+json.dump(doc, open("CHECKS.json", "w"), indent=2)
+print("metrics assembly check:", report["status"],
+      f"({len(missing)} missing)")
+EOF
+fi
 
 # Collect the drivers' per-experiment timing lines into a JSON baseline.
 # The committed baseline (if any) is kept aside first so the regression
@@ -131,5 +162,10 @@ for f in flagged:
           "craft_batch", f["craft_batch"], ":",
           f["baseline_wall_seconds"], "->", f["wall_seconds"], "s")
 EOF
+fi
+if [ -n "$_missing_exports" ]; then
+  echo "MISSING_METRICS_EXPORTS:$_missing_exports" >> bench_output.txt
+  echo "run_benches.sh: missing metrics exports:$_missing_exports" >&2
+  exit 1
 fi
 echo ALL_BENCHES_DONE >> bench_output.txt

@@ -31,6 +31,10 @@
 #   metrics  default build + one short instrumented experiment with
 #            RLATTACK_METRICS_OUT set; validates the exported METRICS JSON
 #            parses and carries the expected kernel/attack/span keys
+#   trace    trace suite (lock-free ring emitters) under TSan, then one
+#            traced instrumented experiment with RLATTACK_TRACE=1 /
+#            RLATTACK_TRACE_OUT; validates the Chrome trace-event JSON
+#            parses and carries pool/episode/phase timeline events
 #   simd     default build + the kernel/attention parity suites run twice,
 #            once under RLATTACK_SIMD=avx2 and once under RLATTACK_SIMD=scalar;
 #            SKIPPED (not failed) when the host CPU lacks AVX2/FMA
@@ -48,7 +52,7 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy tsa tidy-plugin metrics simd batch)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy tsa tidy-plugin metrics trace simd batch)
 
 # Directories the static-analysis steps cover (everything with C++ in it).
 TIDY_DIRS=(src tests bench apps examples tools)
@@ -60,7 +64,7 @@ fi
 # TSan runs the suites that exercise the thread pool and the episode-parallel
 # reduction; the remaining tests are single-threaded re-runs of the same code
 # ASan/UBSan already cover, and TSan's ~10x slowdown makes them poor value.
-TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel|Metrics|Batched'
+TSAN_FILTER='Kernels|ExperimentsParallel|ThreadPool|Pool|Parallel|Metrics|Batched|Trace'
 
 LOG_DIR="checks-logs"
 mkdir -p "${LOG_DIR}"
@@ -122,6 +126,45 @@ EOF
                nn.gemm.kernel seq2seq.forward phase.perturb; do
       grep -q "\"${key}\"" "${json}" || {
         echo "METRICS export missing ${key}"; return 1; }
+    done
+  fi
+}
+
+validate_trace_json() {
+  # validate_trace_json <file>: the Chrome trace-event export must parse as
+  # JSON, every event must carry the viewer-required fields, and the
+  # timeline must show the instrumented layers (pool jobs, episode spans,
+  # per-step phases).
+  local json="$1"
+  [ -s "${json}" ] || { echo "trace export ${json} missing/empty"; return 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc.get("traceEvents", [])
+if not events:
+    sys.exit("trace export has no events")
+names = set()
+for e in events:
+    for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+        if key not in e:
+            sys.exit(f"trace event missing '{key}': {e}")
+    if e["ph"] == "X" and "dur" not in e:
+        sys.exit(f"complete event missing 'dur': {e}")
+    names.add(e["name"])
+for expected in ("pool.job", "episode.run", "phase.victim_step"):
+    if expected not in names:
+        sys.exit(f"trace export missing '{expected}' events")
+print("TRACE export validated:", len(events), "events,",
+      len(names), "distinct names, dropped:",
+      doc.get("otherData", {}).get("dropped"))
+EOF
+  else
+    # Fallback: shape grep when python3 is unavailable.
+    local key
+    for key in traceEvents pool.job episode.run phase.victim_step; do
+      grep -q "${key}" "${json}" || {
+        echo "trace export missing ${key}"; return 1; }
     done
   fi
 }
@@ -277,6 +320,33 @@ run_config() {
         run_logged "${log}" validate_metrics_json "${metrics_json}" || rc=1
       fi
       DETAIL[${name}]="instrumented experiment + METRICS JSON key validation"
+      ;;
+    trace)
+      # Tracing correctness end to end: the Trace* suites under TSan prove
+      # the lock-free ring emit path is race-free, then one traced
+      # instrumented experiment must export Perfetto-loadable JSON carrying
+      # the pool/episode/phase timeline.
+      configure_build trace build-tsan "${log}" \
+        -DRLATTACK_TSAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build-tsan/tests/trace_test --gtest_filter='Trace*' || rc=1
+      fi
+      configure_build trace build "${log}" || rc=1
+      local trace_json="${LOG_DIR}/trace.json"
+      if [ ${rc} -eq 0 ]; then
+        rm -f "${trace_json}"
+        RLATTACK_TRACE=1 RLATTACK_TRACE_OUT="${trace_json}" \
+          RLATTACK_THREADS=4 run_logged "${log}" \
+          build/tests/experiments_parallel_test \
+          --gtest_filter='*MetricsInstrumentationObservesExperiment*' || rc=1
+      fi
+      if [ ${rc} -eq 0 ]; then
+        run_logged "${log}" validate_trace_json "${trace_json}" || rc=1
+      fi
+      DETAIL[${name}]="Trace* suites under TSan + traced experiment Chrome-JSON validation"
       ;;
     batch)
       # Both sanitizers reuse the asan/tsan build trees (incremental after

@@ -181,6 +181,7 @@ nn::Tensor CraftContext::cached_logits(const nn::Tensor& current_obs) {
 }
 
 std::vector<std::size_t> CraftContext::predict_actions() {
+  ++q_forward_;
   if (planner_ == nullptr && !use_cache_)
     return attack::predict_actions(model_, inputs_);
   g_metrics.queries_forward.add();
@@ -210,6 +211,7 @@ std::vector<std::size_t> CraftContext::predict_actions() {
 
 std::vector<float> CraftContext::position_logits(
     std::size_t position, const nn::Tensor& current_obs) {
+  ++q_forward_;
   if (planner_ == nullptr && !use_cache_)
     return attack::position_logits(model_, inputs_, position, current_obs);
   g_metrics.queries_forward.add();
@@ -237,6 +239,7 @@ std::vector<float> CraftContext::position_logits(
 nn::Tensor CraftContext::current_obs_gradient(std::size_t position,
                                               std::size_t action,
                                               const nn::Tensor& current_obs) {
+  ++q_gradient_;
   if (planner_ == nullptr && !use_cache_)
     return attack::current_obs_gradient(model_, inputs_, position, action,
                                         current_obs);
@@ -288,6 +291,8 @@ CraftContext::anchored_gradient(std::size_t position,
   }
   if (position >= model_.config().output_steps)
     throw std::logic_error("Attack: goal position beyond output sequence");
+  ++q_forward_;
+  ++q_gradient_;
   g_metrics.queries_forward.add();
   g_metrics.queries_gradient.add();
   // Mirror the unfused accounting: the gradient half of the fused probe
@@ -316,6 +321,7 @@ CraftContext::anchored_gradient(std::size_t position,
 nn::Tensor CraftContext::logit_diff_gradient(std::size_t position,
                                              std::size_t a, std::size_t b,
                                              const nn::Tensor& current_obs) {
+  ++q_gradient_;
   if (planner_ == nullptr && !use_cache_)
     return attack::logit_diff_gradient(model_, inputs_, position, a, b,
                                        current_obs);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
 #include "rlattack/nn/loss.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
@@ -42,6 +44,19 @@ std::atomic<std::size_t>& batch_width() {
   return width;
 }
 
+std::size_t parse_stall_env() {
+  if (const std::optional<long> v =
+          util::env::get_long(util::env::Var::kTraceStallMs);
+      v && *v > 0)
+    return static_cast<std::size_t>(*v);
+  return 250;
+}
+
+std::atomic<std::size_t>& stall_ms() {
+  static std::atomic<std::size_t> ms{parse_stall_env()};
+  return ms;
+}
+
 // Pre-registered telemetry: per-flush batch size (how far the tail GEMMs
 // are from m = 1), plus the pack/unpack overhead the fusion pays.
 struct PlannerMetrics {
@@ -52,6 +67,7 @@ struct PlannerMetrics {
   obs::Counter& probes = reg.counter("craft.batch.probes");
   obs::SpanStat& gather = reg.span("craft.batch.gather");
   obs::SpanStat& scatter = reg.span("craft.batch.scatter");
+  obs::Counter& stall = reg.counter("craft.batch.stall");
 };
 PlannerMetrics& planner_metrics() {
   static PlannerMetrics metrics;
@@ -74,6 +90,14 @@ std::size_t craft_batch_width() noexcept {
 
 void set_craft_batch_width(std::size_t width) noexcept {
   batch_width().store(width == 0 ? 1 : width, std::memory_order_relaxed);
+}
+
+std::size_t stall_watchdog_ms() noexcept {
+  return stall_ms().load(std::memory_order_relaxed);
+}
+
+void set_stall_watchdog_ms(std::size_t ms) noexcept {
+  stall_ms().store(ms == 0 ? 1 : ms, std::memory_order_relaxed);
 }
 
 BatchedCraftPlanner::BatchedCraftPlanner(seq2seq::Seq2SeqModel& model)
@@ -104,6 +128,8 @@ void BatchedCraftPlanner::Participant::retire() noexcept {
 void BatchedCraftPlanner::enroll() {
   util::MutexLock lock(mu_);
   ++enrolled_;
+  obs::trace_instant("craft.enroll", "enrolled",
+                     static_cast<double>(enrolled_));
 }
 
 void BatchedCraftPlanner::retire() noexcept {
@@ -113,9 +139,15 @@ void BatchedCraftPlanner::retire() noexcept {
                    "BatchedCraftPlanner::retire: no enrolled participants");
   }
   --enrolled_;
+  obs::trace_instant("craft.retire", "enrolled",
+                     static_cast<double>(enrolled_));
   // Leaving the rendezvous can complete it: if everyone still enrolled is
   // already waiting, the retiring thread runs the flush on their behalf.
-  if (!queue_.empty() && queue_.size() == enrolled_) flush_locked();
+  if (!queue_.empty() && queue_.size() == enrolled_) {
+    obs::TraceScope trace("craft.flush", "rows",
+                          static_cast<double>(queue_.size()));
+    flush_locked();
+  }
 }
 
 void BatchedCraftPlanner::submit(Probe& probe) {
@@ -142,13 +174,37 @@ void BatchedCraftPlanner::submit(Probe& probe) {
   if (queue_.size() == enrolled_) {
     // Last arrival executes the whole batch; everyone else is parked on
     // cv_ below, so holding mu_ through the model work is deadlock-free.
+    obs::TraceScope trace("craft.flush", "rows",
+                          static_cast<double>(queue_.size()));
     flush_locked();
     return;
   }
+  // The wait is a span, so a stalled rendezvous shows as a wide
+  // craft.submit_wait block in the timeline rather than a blank gap.
+  obs::TraceScope trace("craft.submit_wait", "queued",
+                        static_cast<double>(queue_.size()));
   // Explicit wait loop: probe.done is written by the flushing thread under
   // mu_, and reading it here keeps the guarded access inside this annotated
   // scope (see thread_safety.hpp conventions).
-  while (!probe.done) cv_.wait(lock.native_lock());
+  if constexpr (util::kCheckedBuild) {
+    // Stall watchdog: each elapsed interval without an answer fires the
+    // craft.batch.stall counter and an instant trace event. Spurious wakes
+    // re-arm the interval, so a firing means at least interval ms of real
+    // waiting since the previous check — precise enough for liveness triage.
+    const auto interval =
+        std::chrono::milliseconds(static_cast<long>(stall_watchdog_ms()));
+    while (!probe.done) {
+      if (cv_.wait_for(lock.native_lock(), interval) ==
+              std::cv_status::timeout &&
+          !probe.done) {
+        planner_metrics().stall.add();
+        obs::trace_instant("craft.batch.stall", "interval_ms",
+                           static_cast<double>(stall_watchdog_ms()));
+      }
+    }
+  } else {
+    while (!probe.done) cv_.wait(lock.native_lock());
+  }
 }
 
 void BatchedCraftPlanner::flush_locked() {

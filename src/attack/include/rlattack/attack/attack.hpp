@@ -102,6 +102,13 @@ class CraftContext {
   std::pair<std::vector<std::size_t>, nn::Tensor> anchored_gradient(
       std::size_t position, const nn::Tensor& current_obs);
 
+  /// Per-context query tallies, counted at exactly the sites that feed the
+  /// global attack.queries.* counters. The forensics stream differences
+  /// these across a step to attribute queries to it; the process-wide
+  /// telemetry is unaffected.
+  std::size_t queries_forward() const noexcept { return q_forward_; }
+  std::size_t queries_gradient() const noexcept { return q_gradient_; }
+
  private:
   friend class BatchedCraftPlanner;
 
@@ -115,6 +122,8 @@ class CraftContext {
   bool use_cache_;      ///< craft_cache_enabled() at construction
   bool encoded_ = false;
   seq2seq::HistoryEncoding encoding_;
+  std::size_t q_forward_ = 0;   ///< forward queries through this context
+  std::size_t q_gradient_ = 0;  ///< gradient queries through this context
 };
 
 class Attack {

@@ -51,6 +51,16 @@ void set_craft_batch_enabled(bool enabled) noexcept;
 std::size_t craft_batch_width() noexcept;
 void set_craft_batch_width(std::size_t width) noexcept;
 
+/// Checked builds only: a participant parked in the rendezvous longer than
+/// this interval (milliseconds) emits a "craft.batch.stall" instant trace
+/// event and counter increment each time the interval elapses — a stalled
+/// flush (e.g. an enrolled session that never probes) becomes visible in
+/// the timeline instead of a silent hang. RLATTACK_TRACE_STALL_MS sets the
+/// process-initial value; default 250, clamped to >= 1. Release builds
+/// never arm the watchdog.
+std::size_t stall_watchdog_ms() noexcept;
+void set_stall_watchdog_ms(std::size_t ms) noexcept;
+
 /// Gathers the per-iteration victim probes of M independent CraftContexts
 /// into batched Seq2SeqModel calls and scatters the per-row results back.
 /// The shared model is only ever touched inside a flush, by exactly one

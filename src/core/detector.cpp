@@ -48,6 +48,7 @@ void StatefulDetector::reset() {
   window_flags_ = 0;
   total_flags_ = 0;
   alarmed_ = false;
+  last_z_ = 0.0;
 }
 
 bool StatefulDetector::observe(const nn::Tensor& frame) {
@@ -60,6 +61,7 @@ bool StatefulDetector::observe(const nn::Tensor& frame) {
     delta -= previous_frame_;
     const double z =
         (util::l2_norm(delta.data()) - mean_) / stddev_;
+    last_z_ = z;
     const bool flag = z > config_.z_threshold;
     recent_flags_.push_back(flag);
     if (flag) {

@@ -52,6 +52,10 @@ class StatefulDetector {
   std::size_t flag_count() const noexcept { return total_flags_; }
   bool alarmed() const noexcept { return alarmed_; }
 
+  /// z-score of the most recent observed frame delta (0 before the second
+  /// frame of an episode). The forensics stream records this per step.
+  double last_z() const noexcept { return last_z_; }
+
   const Config& config() const noexcept { return config_; }
 
  private:
@@ -65,6 +69,7 @@ class StatefulDetector {
   std::size_t window_flags_ = 0;
   std::size_t total_flags_ = 0;
   bool alarmed_ = false;
+  double last_z_ = 0.0;
 };
 
 }  // namespace rlattack::core

@@ -5,6 +5,7 @@
 
 #include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
@@ -44,6 +45,7 @@ EpisodeOutcome run_one_job(rl::Agent& victim, env::Game game,
   static obs::SpanStat& episode_span =
       obs::MetricsRegistry::global().span("phase.episode");
   obs::Span span(episode_span);
+  obs::TraceScope trace("episode.job", "seed", static_cast<double>(job.seed));
   // Attacks hold only immutable configuration (steps, coefficients), so a
   // fresh default-configured instance per job matches the shared instance
   // the serial drivers historically used.
@@ -184,9 +186,16 @@ std::vector<EpisodeOutcome> run_jobs_batched(rl::Agent& victim, env::Game game,
                                              const std::vector<EpisodeJob>& jobs,
                                              std::size_t hosts) {
   std::vector<EpisodeOutcome> outcomes(jobs.size());
+  obs::TraceScope trace("episodes.dispatch", "jobs",
+                        static_cast<double>(jobs.size()), "hosts",
+                        static_cast<double>(hosts));
   WorkerPool& pool = worker_pool();
   util::MutexLock pool_lock(pool.mu);
-  sync_workers_locked(pool, victim, /*model=*/nullptr, hosts);
+  {
+    obs::TraceScope sync_trace("episodes.sync_workers", "count",
+                               static_cast<double>(hosts));
+    sync_workers_locked(pool, victim, /*model=*/nullptr, hosts);
+  }
   if constexpr (util::kCheckedBuild)
     verify_workers_locked(pool, victim, /*model=*/nullptr, hosts);
   const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
@@ -259,9 +268,16 @@ std::vector<EpisodeOutcome> run_episode_jobs(
   // Threaded path: pooled clone pair per worker, jobs pulled dynamically
   // (episode lengths vary wildly — a successful attack ends CartPole
   // episodes early — so static slices would load-imbalance).
+  obs::TraceScope trace("episodes.dispatch", "jobs",
+                        static_cast<double>(jobs.size()), "workers",
+                        static_cast<double>(workers));
   WorkerPool& pool = worker_pool();
   util::MutexLock pool_lock(pool.mu);
-  sync_workers_locked(pool, victim, &model, workers);
+  {
+    obs::TraceScope sync_trace("episodes.sync_workers", "count",
+                               static_cast<double>(workers));
+    sync_workers_locked(pool, victim, &model, workers);
+  }
   if constexpr (util::kCheckedBuild)
     verify_workers_locked(pool, victim, &model, workers);
   const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);

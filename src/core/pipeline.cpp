@@ -1,12 +1,17 @@
 #include "rlattack/core/pipeline.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "rlattack/attack/batch_planner.hpp"
 
+#include "rlattack/core/detector.hpp"
+#include "rlattack/obs/forensics.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/stats.hpp"
 
@@ -33,6 +38,32 @@ struct PipelineMetrics {
 PipelineMetrics& pipeline_metrics() {
   static PipelineMetrics metrics;
   return metrics;
+}
+
+/// Stable identifier of one episode *configuration*: the forensics JSONL is
+/// sorted by it, so the export order is independent of which worker finished
+/// first. Seed is folded in too — two episodes of the same sweep row differ
+/// only by seed.
+std::uint64_t episode_forensics_key(const AttackPolicy& policy,
+                                    const attack::Budget& budget,
+                                    const std::string& attack_name,
+                                    std::uint64_t seed) {
+  using obs::forensics_key_mix;
+  std::uint64_t k = obs::forensics_key_begin();
+  k = forensics_key_mix(k, seed);
+  k = forensics_key_mix(k, static_cast<std::uint64_t>(policy.mode));
+  k = forensics_key_mix(k, policy.trigger_step);
+  k = forensics_key_mix(k, policy.stride);
+  k = forensics_key_mix(k, static_cast<std::uint64_t>(policy.goal_mode));
+  k = forensics_key_mix(k, policy.position);
+  k = forensics_key_mix(k, policy.random_position ? 1 : 0);
+  k = forensics_key_mix(k, policy.runner_up_target ? 1 : 0);
+  k = forensics_key_mix(k, policy.target_action);
+  k = forensics_key_mix(k, static_cast<std::uint64_t>(budget.norm));
+  k = forensics_key_mix(k, std::bit_cast<std::uint32_t>(budget.epsilon));
+  for (const char c : attack_name)
+    k = forensics_key_mix(k, static_cast<unsigned char>(c));
+  return k;
 }
 
 }  // namespace
@@ -68,13 +99,39 @@ EpisodeOutcome AttackSession::run_episode(
     attack::BatchedCraftPlanner* planner) {
   PipelineMetrics& metrics = pipeline_metrics();
   metrics.episodes.add();
+  obs::TraceScope episode_trace("episode.run", "seed",
+                                static_cast<double>(episode_seed));
+  const bool forensics = obs::forensics_enabled();
   // Enroll in the batched-craft rendezvous only if this episode can ever
   // query the approximator — clean runs and model-free attacks would just
-  // stall the other participants' flushes.
+  // stall the other participants' flushes. The forensics stream probes the
+  // model every eligible step (prediction agreement), so with it on every
+  // episode enrolls: the shared model may only be touched through the
+  // rendezvous.
   std::optional<attack::BatchedCraftPlanner::Participant> participant;
-  if (planner != nullptr && policy.mode != AttackPolicy::Mode::kNone &&
-      attack_.uses_model())
+  if (planner != nullptr &&
+      ((policy.mode != AttackPolicy::Mode::kNone && attack_.uses_model()) ||
+       forensics))
     participant.emplace(*planner);
+  const std::uint64_t forensics_key =
+      forensics ? episode_forensics_key(policy, budget_, attack_.name(),
+                                        episode_seed)
+                : 0;
+  // Detection score: built fresh per episode from the plain-number config
+  // the obs layer holds (obs cannot depend on core::StatefulDetector).
+  std::optional<StatefulDetector> detector;
+  if (forensics) {
+    const obs::ForensicsDetector det_cfg = obs::forensics_detector();
+    if (det_cfg.active) {
+      StatefulDetector::Config cfg;
+      cfg.window = static_cast<std::size_t>(std::max(det_cfg.window, 1));
+      cfg.alarm_flags =
+          static_cast<std::size_t>(std::max(det_cfg.alarm_flags, 1));
+      cfg.z_threshold = det_cfg.z_threshold;
+      detector.emplace(cfg);
+      detector->calibrate(det_cfg.mean, det_cfg.stddev);
+    }
+  }
   raw_env_->seed(episode_seed);
   util::Rng rng(episode_seed ^ 0x5bd1e995u);
   RolloutFifo fifo(model_.config().input_steps, frame_size_,
@@ -105,18 +162,33 @@ EpisodeOutcome AttackSession::run_episode(
     }
 
     std::size_t clean_action = 0;
-    if (attack_now) {
-      attack::CraftInputs inputs =
-          fifo.crafting_inputs(frame.reshaped({frame_size_}));
-      // One craft context per attacked step: the history encoding built for
-      // runner-up target selection below is reused by every iteration of
-      // the attack itself. Enrolled episodes craft through the planner so
-      // the encoding and every tail query batch across sessions.
-      std::optional<attack::CraftContext> ctx_storage;
+    obs::ForensicsStep rec;
+    std::vector<std::size_t> predicted_vec;
+    // One craft context per step that needs the model: the history encoding
+    // built for the forensics prediction / runner-up target selection below
+    // is reused by every iteration of the attack itself. Enrolled episodes
+    // craft through the planner so the encoding and every tail query batch
+    // across sessions. With forensics off this constructs exactly when it
+    // used to (attacked steps only).
+    std::optional<attack::CraftInputs> inputs_storage;
+    std::optional<attack::CraftContext> ctx_storage;
+    if (attack_now || (forensics && eligible)) {
+      inputs_storage.emplace(
+          fifo.crafting_inputs(frame.reshaped({frame_size_})));
       if (participant.has_value())
-        ctx_storage.emplace(*planner, inputs);
+        ctx_storage.emplace(*planner, *inputs_storage);
       else
-        ctx_storage.emplace(model_, inputs);
+        ctx_storage.emplace(model_, *inputs_storage);
+    }
+    if (forensics && eligible) {
+      // Prediction agreement: what does the approximator expect the victim
+      // to do from the *clean* history? Read-only forward query — it never
+      // touches the episode RNG or environment.
+      obs::Span span(metrics.approx_inference);
+      predicted_vec = ctx_storage->predict_actions();
+    }
+    if (attack_now) {
+      const attack::CraftInputs& inputs = *inputs_storage;
       attack::CraftContext& ctx = *ctx_storage;
       attack::Goal goal;
       goal.mode = policy.goal_mode;
@@ -128,6 +200,7 @@ EpisodeOutcome AttackSession::run_episode(
         if (policy.runner_up_target) {
           // Aim at the runner-up action of the prediction at the position:
           // the easiest-to-reach wrong action.
+          obs::TraceScope trace("phase.approx_inference");
           obs::Span span(metrics.approx_inference);
           const std::vector<float> row =
               ctx.position_logits(goal.position, inputs.current_obs);
@@ -148,6 +221,8 @@ EpisodeOutcome AttackSession::run_episode(
         }
       }
       nn::Tensor perturbed_flat = [&] {
+        obs::TraceScope trace("phase.perturb", "position",
+                              static_cast<double>(goal.position));
         obs::Span span(metrics.perturb);
         return attack_.perturb(ctx, goal, budget_, bounds, rng);
       }();
@@ -169,6 +244,29 @@ EpisodeOutcome AttackSession::run_episode(
       linf_stats.add(linf);
       metrics.realised_l2.record(l2);
       metrics.realised_linf.record(linf);
+      rec.l2 = l2;
+      rec.linf = linf;
+      if (forensics) {
+        // Attack-loss margin at the attacked position, evaluated on the
+        // delivered sample: positive means the model-level goal is met
+        // (targeted: target beats every other action; untargeted: some
+        // other action beats the clean prediction).
+        const std::vector<float> post =
+            ctx.position_logits(goal.position, perturbed_flat);
+        const auto margin_vs = [&](std::size_t pivot) {
+          double best_other = -HUGE_VAL;
+          for (std::size_t i = 0; i < post.size(); ++i)
+            if (i != pivot) best_other = std::max(best_other, double(post[i]));
+          return post.size() > 1 ? best_other : double(post[pivot]);
+        };
+        if (goal.mode == attack::Goal::Mode::kTargeted)
+          rec.loss = double(post[goal.target_action]) -
+                     margin_vs(goal.target_action);
+        else
+          rec.loss = margin_vs(predicted_vec[goal.position]) -
+                     double(post[predicted_vec[goal.position]]);
+        rec.has_loss = true;
+      }
       // Victim's counterfactual action on the clean frame this step.
       clean_action = victim_.act(
           accumulator.peek_with(frame).reshaped(agent_obs_shape_), false);
@@ -177,15 +275,18 @@ EpisodeOutcome AttackSession::run_episode(
       if (policy.mode == AttackPolicy::Mode::kSingleStep) {
         single_fired = true;
         outcome.fired_step = outcome.steps;
-        // No further queries can come from this episode; leave the
+        // No further attack queries can come from this episode; leave the
         // rendezvous so the remaining participants' flushes stop waiting.
-        if (participant.has_value()) participant->retire();
+        // Unless forensics is on: its per-step prediction probes keep
+        // coming, and an unenrolled probe would trip the planner's checks.
+        if (participant.has_value() && !forensics) participant->retire();
       }
     }
 
     if (policy.record_frames) outcome.delivered_frames.push_back(delivered);
     nn::Tensor stacked = accumulator.push(delivered);
     const std::size_t action = [&] {
+      obs::TraceScope trace("phase.victim_step");
       obs::Span span(metrics.victim_step);
       return victim_.act(stacked.reshaped(agent_obs_shape_), false);
     }();
@@ -194,7 +295,36 @@ EpisodeOutcome AttackSession::run_episode(
     fifo.push(delivered.reshaped({frame_size_}), action);
     outcome.actions.push_back(action);
 
+    if (forensics) {
+      rec.episode_key = forensics_key;
+      rec.seed = episode_seed;
+      rec.step = static_cast<std::uint32_t>(outcome.steps);
+      rec.eligible = eligible;
+      rec.attacked = attack_now;
+      rec.action = static_cast<std::int32_t>(action);
+      if (!predicted_vec.empty()) {
+        rec.predicted = static_cast<std::int32_t>(predicted_vec[0]);
+        rec.agree = predicted_vec[0] == action ? 1 : 0;
+      }
+      // Counterfactual clean-action query on attacked steps is the second
+      // victim evaluation the attack spends.
+      rec.victim_queries = attack_now ? 2 : 1;
+      if (ctx_storage.has_value()) {
+        rec.model_forward =
+            static_cast<std::uint32_t>(ctx_storage->queries_forward());
+        rec.model_gradient =
+            static_cast<std::uint32_t>(ctx_storage->queries_gradient());
+      }
+      if (detector.has_value()) {
+        rec.det_active = true;
+        rec.det_flag = detector->observe(delivered);
+        rec.det_score = detector->last_z();
+      }
+      obs::forensics_record(rec);
+    }
+
     env::StepResult sr = [&] {
+      obs::TraceScope trace("phase.env_step");
       obs::Span span(metrics.env_step);
       return raw_env_->step(action);
     }();

@@ -1,0 +1,42 @@
+// Tiny JSON formatting helpers shared by the obs exporters (metrics, trace,
+// forensics) and their byte-exact golden tests. Deliberately not a JSON
+// library: every exporter writes its keys in a fixed order so output is
+// deterministic, and these helpers only make the scalar spellings
+// deterministic too.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rlattack::obs::detail {
+
+/// Shortest round-trippable decimal spelling of `v`; non-finite values
+/// (which the exporters never produce, but JSON cannot represent) degrade
+/// to 0.
+inline std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shorter %.15g spelling when it round-trips (4 instead of
+  // 4.0000000000000000, 0.5 instead of 0.50000000000000000).
+  char short_buf[40];
+  std::snprintf(short_buf, sizeof short_buf, "%.15g", v);
+  if (std::strtod(short_buf, nullptr) == v) return short_buf;
+  return buf;
+}
+
+/// Escapes '"' and '\' (the only characters the exporters' strings can
+/// contain that need escaping).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace rlattack::obs::detail

@@ -108,6 +108,28 @@ namespace detail {
 /// never false-share.
 inline constexpr std::size_t kSlots = 32;
 
+/// Log-spaced quantile sketch shared by Histogram and SpanStat: 8 buckets
+/// per decade over [1e-9, 1e9) plus an underflow bucket (≤ 0 or below 1e-9;
+/// its representative value is 0) and an overflow bucket. Merging per-thread
+/// partials is element-wise addition of the counts, which is what makes
+/// p50/p95/p99 merge-safe across StatSlots — the relative error of a
+/// reported quantile is bounded by the bucket width (~33% per step, i.e.
+/// the right order of magnitude and then some, which is what tail-latency
+/// triage needs).
+inline constexpr std::size_t kSketchPerDecade = 8;
+inline constexpr int kSketchMinExp = -9;  ///< first finite bucket at 1e-9
+inline constexpr int kSketchMaxExp = 9;   ///< overflow at 1e9
+inline constexpr std::size_t kSketchBuckets =
+    2 + kSketchPerDecade *
+            static_cast<std::size_t>(kSketchMaxExp - kSketchMinExp);
+
+/// Bucket index for a sample (0 = underflow, kSketchBuckets-1 = overflow).
+std::size_t sketch_index(double x) noexcept;
+/// Representative value of a bucket: the geometric midpoint of its range
+/// (0 for underflow, 1e9 for overflow). Exposed so the exporter golden test
+/// can compose its expected quantile spellings.
+double sketch_value(std::size_t idx) noexcept;
+
 /// A capability in its own right: stats/buckets may only be touched between
 /// acquire() and release() (metrics.cpp's SlotLock is the scoped form).
 struct alignas(64) RLATTACK_CAPABILITY("spinlock") StatSlot {
@@ -121,12 +143,21 @@ struct alignas(64) RLATTACK_CAPABILITY("spinlock") StatSlot {
   std::atomic_flag lock;  // C++20: default-initialized clear
   util::RunningStats stats;
   std::vector<std::uint64_t> buckets;  ///< histograms only; else empty
+  std::vector<std::uint64_t> sketch;   ///< kSketchBuckets quantile counts
 };
 }  // namespace detail
+
+/// Quantile estimates read off the merged log-bucket sketch.
+struct Quantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
 
 /// Summary of merged per-thread partials at a point in time.
 struct HistogramSnapshot {
   util::RunningStats stats;
+  Quantiles quantiles;                 ///< from the merged log sketch
   std::vector<double> bounds;          ///< ascending upper bucket bounds
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (last = +inf)
 };
@@ -155,6 +186,8 @@ class SpanStat {
   /// Records one duration (Span calls this; tests may call it directly).
   void record(double seconds) noexcept;
   util::RunningStats snapshot() const;
+  /// p50/p95/p99 estimates merged across the per-thread sketches.
+  Quantiles quantiles() const;
   void reset() noexcept;
   const std::string& name() const noexcept { return name_; }
 

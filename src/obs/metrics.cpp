@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "rlattack/obs/json_util.hpp"
 #include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
 
@@ -42,31 +43,55 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
-/// Shortest round-trippable decimal; non-finite values (which telemetry
-/// never produces, but JSON cannot represent) degrade to 0.
-std::string fmt_double(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shorter %.15g spelling when it round-trips (4 instead of
-  // 4.0000000000000000, 0.5 instead of 0.50000000000000000).
-  char short_buf[40];
-  std::snprintf(short_buf, sizeof short_buf, "%.15g", v);
-  if (std::strtod(short_buf, nullptr) == v) return short_buf;
-  return buf;
-}
+using detail::fmt_double;
+using detail::json_escape;
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
+///// Quantile read-off: rank r(q) = max(1, ceil(q·n)), reported value = the
+/// representative of the first bucket whose cumulative count reaches r.
+Quantiles quantiles_from_sketch(const std::vector<std::uint64_t>& sketch) {
+  Quantiles q;
+  std::uint64_t n = 0;
+  for (const std::uint64_t c : sketch) n += c;
+  if (n == 0) return q;
+  const auto pick = [&](double p) {
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(n))));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < sketch.size(); ++b) {
+      cum += sketch[b];
+      if (cum >= rank) return detail::sketch_value(b);
+    }
+    return detail::sketch_value(sketch.size() - 1);
+  };
+  q.p50 = pick(0.50);
+  q.p95 = pick(0.95);
+  q.p99 = pick(0.99);
+  return q;
 }
 
 }  // namespace
+
+namespace detail {
+
+std::size_t sketch_index(double x) noexcept {
+  if (!(x >= 1e-9)) return 0;  // underflow; also catches NaN and negatives
+  if (x >= 1e9) return kSketchBuckets - 1;
+  const double pos =
+      (std::log10(x) - kSketchMinExp) * static_cast<double>(kSketchPerDecade);
+  const std::size_t b = 1 + static_cast<std::size_t>(pos);  // pos >= 0: floor
+  return b > kSketchBuckets - 2 ? kSketchBuckets - 2 : b;
+}
+
+double sketch_value(std::size_t idx) noexcept {
+  if (idx == 0) return 0.0;
+  if (idx >= kSketchBuckets - 1) return 1e9;
+  const double pos = kSketchMinExp + (static_cast<double>(idx - 1) + 0.5) /
+                                         static_cast<double>(kSketchPerDecade);
+  return std::pow(10.0, pos);
+}
+
+}  // namespace detail
 
 bool metrics_enabled() noexcept { return detail::enabled(); }
 
@@ -81,7 +106,10 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
       slots_(detail::kSlots) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end()))
     throw std::logic_error("Histogram " + name_ + ": bounds not ascending");
-  for (auto& slot : slots_) slot.buckets.assign(bounds_.size() + 1, 0);
+  for (auto& slot : slots_) {
+    slot.buckets.assign(bounds_.size() + 1, 0);
+    slot.sketch.assign(detail::kSketchBuckets, 0);
+  }
 }
 
 void Histogram::record(double x) noexcept {
@@ -90,21 +118,27 @@ void Histogram::record(double x) noexcept {
       slots_[util::ThreadPool::thread_index() & (detail::kSlots - 1)];
   std::size_t b = 0;
   while (b < bounds_.size() && x > bounds_[b]) ++b;
+  const std::size_t sk = detail::sketch_index(x);
   SlotLock lock(slot);
   slot.stats.add(x);
   ++slot.buckets[b];
+  ++slot.sketch[sk];
 }
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   snap.bounds = bounds_;
   snap.buckets.assign(bounds_.size() + 1, 0);
+  std::vector<std::uint64_t> sketch(detail::kSketchBuckets, 0);
   for (detail::StatSlot& slot : slots_) {
     SlotLock lock(slot);
     snap.stats.merge(slot.stats);
     for (std::size_t b = 0; b < snap.buckets.size(); ++b)
       snap.buckets[b] += slot.buckets[b];
+    for (std::size_t b = 0; b < sketch.size(); ++b)
+      sketch[b] += slot.sketch[b];
   }
+  snap.quantiles = quantiles_from_sketch(sketch);
   return snap;
 }
 
@@ -113,20 +147,25 @@ void Histogram::reset() noexcept {
     SlotLock lock(slot);
     slot.stats = util::RunningStats();
     std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    std::fill(slot.sketch.begin(), slot.sketch.end(), 0);
   }
 }
 
 // --- SpanStat / Span -------------------------------------------------------
 
 SpanStat::SpanStat(std::string name)
-    : name_(std::move(name)), slots_(detail::kSlots) {}
+    : name_(std::move(name)), slots_(detail::kSlots) {
+  for (auto& slot : slots_) slot.sketch.assign(detail::kSketchBuckets, 0);
+}
 
 void SpanStat::record(double seconds) noexcept {
   if (!detail::enabled()) return;
   detail::StatSlot& slot =
       slots_[util::ThreadPool::thread_index() & (detail::kSlots - 1)];
+  const std::size_t sk = detail::sketch_index(seconds);
   SlotLock lock(slot);
   slot.stats.add(seconds);
+  ++slot.sketch[sk];
 }
 
 util::RunningStats SpanStat::snapshot() const {
@@ -138,10 +177,21 @@ util::RunningStats SpanStat::snapshot() const {
   return merged;
 }
 
+Quantiles SpanStat::quantiles() const {
+  std::vector<std::uint64_t> sketch(detail::kSketchBuckets, 0);
+  for (detail::StatSlot& slot : slots_) {
+    SlotLock lock(slot);
+    for (std::size_t b = 0; b < sketch.size(); ++b)
+      sketch[b] += slot.sketch[b];
+  }
+  return quantiles_from_sketch(sketch);
+}
+
 void SpanStat::reset() noexcept {
   for (detail::StatSlot& slot : slots_) {
     SlotLock lock(slot);
     slot.stats = util::RunningStats();
+    std::fill(slot.sketch.begin(), slot.sketch.end(), 0);
   }
 }
 
@@ -331,6 +381,9 @@ std::string MetricsRegistry::to_json(const std::string& binary) const {
           << ", \"stddev\": " << fmt_double(snap.stats.stddev())
           << ", \"min\": " << fmt_double(snap.stats.min())
           << ", \"max\": " << fmt_double(snap.stats.max())
+          << ", \"p50\": " << fmt_double(snap.quantiles.p50)
+          << ", \"p95\": " << fmt_double(snap.quantiles.p95)
+          << ", \"p99\": " << fmt_double(snap.quantiles.p99)
           << ", \"buckets\": [";
       for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
         if (b > 0) out << ", ";
@@ -350,12 +403,16 @@ std::string MetricsRegistry::to_json(const std::string& binary) const {
     bool first = true;
     for (const auto& [name, s] : spans_) {
       const util::RunningStats stats = s->snapshot();
+      const Quantiles q = s->quantiles();
       out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
           << "\": {\"count\": " << stats.count()
           << ", \"total_s\": " << fmt_double(stats.sum())
           << ", \"mean_s\": " << fmt_double(stats.mean())
           << ", \"min_s\": " << fmt_double(stats.min())
-          << ", \"max_s\": " << fmt_double(stats.max()) << "}";
+          << ", \"max_s\": " << fmt_double(stats.max())
+          << ", \"p50_s\": " << fmt_double(q.p50)
+          << ", \"p95_s\": " << fmt_double(q.p95)
+          << ", \"p99_s\": " << fmt_double(q.p99) << "}";
       first = false;
     }
     if (!first) out << "\n  ";

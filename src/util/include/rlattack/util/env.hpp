@@ -56,7 +56,18 @@ namespace rlattack::util::env {
   X(kBenchScale, "RLATTACK_BENCH_SCALE",                                       \
     "multiplier on bench grid sizes (episodes/epochs); default 1.0")           \
   X(kBenchCompare, "RLATTACK_BENCH_COMPARE",                                   \
-    "run_benches.sh only: 1 re-runs each binary and compares rows")
+    "run_benches.sh only: 1 re-runs each binary and compares rows")            \
+  X(kTrace, "RLATTACK_TRACE",                                                  \
+    "1 enables the event-tracing layer (timeline ring buffers) at startup")    \
+  X(kTraceOut, "RLATTACK_TRACE_OUT",                                           \
+    "path for the process-exit Chrome/Perfetto trace JSON (implies "           \
+    "RLATTACK_TRACE=1 when that is unset)")                                    \
+  X(kTraceStallMs, "RLATTACK_TRACE_STALL_MS",                                  \
+    "checked builds: batched-craft rendezvous stall-watchdog interval in "     \
+    "milliseconds; default 250")                                               \
+  X(kForensicsOut, "RLATTACK_FORENSICS_OUT",                                   \
+    "path for the per-step attack forensics JSONL export (enables the "        \
+    "stream)")
 
 /// One enumerator per registered variable.
 enum class Var {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -83,6 +84,19 @@ class ThreadPool {
   /// nested-parallelism rule that lets episode-level fan-out wrap the GEMM
   /// kernels without deadlock or oversubscription.
   static bool inside_worker() noexcept;
+
+  /// Timeline-tracing hooks. util cannot depend on obs, so the tracing
+  /// layer (rlattack::obs::trace) installs these function pointers at
+  /// startup; when tracing is off `begin` returns 0 after one relaxed load
+  /// and `end` is never called, so the pool pays nothing. `begin` runs
+  /// before a job dispatch / worker drain, `end` after it with the matching
+  /// begin timestamp and two numeric args (chunk count, worker count).
+  struct TraceHooks {
+    std::uint64_t (*begin)() noexcept = nullptr;
+    void (*end)(const char* name, std::uint64_t begin_ns, double chunks,
+                double workers) noexcept = nullptr;
+  };
+  static void set_trace_hooks(TraceHooks hooks) noexcept;
 
  private:
   struct Impl;

@@ -24,6 +24,26 @@ thread_local bool tls_inside_worker = false;
 std::atomic<std::size_t> g_next_thread_index{0};
 thread_local std::size_t tls_thread_index = static_cast<std::size_t>(-1);
 
+// Trace hooks installed by rlattack::obs (TraceLog::global construction).
+// Stored as individual relaxed atomics: torn installs are impossible (each
+// pointer flips nullptr -> value exactly once) and the emit path stays a
+// pair of relaxed loads.
+std::atomic<std::uint64_t (*)() noexcept> g_trace_begin{nullptr};
+std::atomic<void (*)(const char*, std::uint64_t, double, double) noexcept>
+    g_trace_end{nullptr};
+
+std::uint64_t pool_trace_begin() noexcept {
+  const auto fn = g_trace_begin.load(std::memory_order_relaxed);
+  return fn ? fn() : 0;
+}
+
+void pool_trace_end(const char* name, std::uint64_t begin_ns, double chunks,
+                    double workers) noexcept {
+  if (begin_ns == 0) return;  // tracing was off at begin: keep the pair inert
+  if (const auto fn = g_trace_end.load(std::memory_order_relaxed))
+    fn(name, begin_ns, chunks, workers);
+}
+
 std::size_t resolve_thread_count() {
   if (const std::optional<long> v = env::get_long(env::Var::kThreads);
       v && *v > 0)
@@ -99,7 +119,12 @@ struct ThreadPool::Impl {
         seen = generation;
         job = current;
       }
-      if (job) job->drain();
+      if (job) {
+        const std::uint64_t t0 = pool_trace_begin();
+        job->drain();
+        pool_trace_end("pool.drain", t0,
+                       static_cast<double>(job->nchunks), 0.0);
+      }
     }
   }
 
@@ -146,6 +171,11 @@ ThreadPool::~ThreadPool() = default;
 
 bool ThreadPool::inside_worker() noexcept { return tls_inside_worker; }
 
+void ThreadPool::set_trace_hooks(TraceHooks hooks) noexcept {
+  g_trace_begin.store(hooks.begin, std::memory_order_relaxed);
+  g_trace_end.store(hooks.end, std::memory_order_relaxed);
+}
+
 std::size_t ThreadPool::thread_index() noexcept {
   if (tls_thread_index == static_cast<std::size_t>(-1))
     tls_thread_index =
@@ -175,9 +205,13 @@ void ThreadPool::run_chunked(std::size_t nchunks,
                              const std::function<void(std::size_t)>& chunk_fn) {
   if (nchunks == 0) return;
   // Serial pool, single chunk, or a nested call from inside a worker: run
-  // inline. This is the deterministic RLATTACK_THREADS=1 path.
+  // inline. This is the deterministic RLATTACK_THREADS=1 path. Nested calls
+  // stay untraced — a pool.job span per nested GEMM row block would swamp
+  // the timeline; the enclosing job span already covers them.
   if (!impl_ || nchunks == 1 || tls_inside_worker) {
+    const std::uint64_t t0 = tls_inside_worker ? 0 : pool_trace_begin();
     for (std::size_t c = 0; c < nchunks; ++c) chunk_fn(c);
+    pool_trace_end("pool.job", t0, static_cast<double>(nchunks), 1.0);
     return;
   }
   // parallel_for is synchronous; serialize submitters defensively so two
@@ -187,7 +221,10 @@ void ThreadPool::run_chunked(std::size_t nchunks,
   auto job = std::make_shared<Job>();
   job->fn = chunk_fn;
   job->nchunks = nchunks;
+  const std::uint64_t t0 = pool_trace_begin();
   impl_->run(job);
+  pool_trace_end("pool.job", t0, static_cast<double>(nchunks),
+                 static_cast<double>(threads_));
   if (std::exception_ptr error = job->take_error())
     std::rethrow_exception(error);
 }

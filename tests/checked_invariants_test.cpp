@@ -6,11 +6,15 @@
 // compiled out and nothing here would throw.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "rlattack/attack/attack.hpp"
+#include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/nn/dense.hpp"
+#include "rlattack/obs/metrics.hpp"
 #include "rlattack/nn/sequential.hpp"
 #include "rlattack/seq2seq/model.hpp"
 #include "rlattack/util/check.hpp"
@@ -296,6 +300,46 @@ TEST(CheckedInvariantsTest, BuiltInAttacksPassTheirOwnAudit) {
                                       {-5.0f, 5.0f}, rng))
         << attack::attack_name(kind);
   }
+}
+
+// ------------------------------------------------------ rendezvous watchdog
+
+// Negative test for the checked-build stall watchdog: a rendezvous with one
+// enrolled participant that never probes leaves the submitter parked, and
+// every elapsed watchdog interval must tick the craft.batch.stall counter.
+TEST(CheckedInvariantsTest, StallWatchdogFiresForStalledRendezvous) {
+  auto model = make_model();
+  auto inputs = make_inputs();
+  attack::BatchedCraftPlanner planner(model);
+  const std::size_t saved_ms = attack::stall_watchdog_ms();
+  const bool saved_metrics = obs::metrics_enabled();
+  attack::set_stall_watchdog_ms(10);
+  obs::set_metrics_enabled(true);
+  obs::Counter& stall =
+      obs::MetricsRegistry::global().counter("craft.batch.stall");
+  const std::uint64_t before = stall.value();
+
+  attack::BatchedCraftPlanner::Participant idle(planner);  // never probes
+  std::thread prober([&] {
+    attack::BatchedCraftPlanner::Participant me(planner);
+    attack::CraftContext ctx(planner, inputs);
+    // Parks in the rendezvous: two enrolled, one probe queued. Only the
+    // idle participant's retirement below can complete the flush.
+    (void)ctx.predict_actions();
+  });
+  // Poll rather than fixed-sleep so the test is fast when the watchdog
+  // works and only eats the full deadline when it is broken.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (stall.value() == before &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(stall.value(), before)
+      << "watchdog never fired for a stalled rendezvous";
+  idle.retire();  // rendezvous complete: the queued probe flushes
+  prober.join();
+  attack::set_stall_watchdog_ms(saved_ms);
+  obs::set_metrics_enabled(saved_metrics);
 }
 
 // --------------------------------------------------------- RNG stream hash

@@ -13,6 +13,7 @@
 #include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/core/experiments.hpp"
 #include "rlattack/obs/metrics.hpp"
+#include "rlattack/obs/trace.hpp"
 #include "rlattack/rl/agent.hpp"
 #include "rlattack/seq2seq/model.hpp"
 
@@ -236,6 +237,54 @@ TEST_F(ExperimentsParallelTest, MetricsOnOffRowsBitIdentical) {
     }
   }
   obs::set_metrics_enabled(saved);
+
+  const auto& reference = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].size(), reference.size()) << "variant " << v;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[v][i].attack, reference[i].attack)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].l2_budget, reference[i].l2_budget)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_reward, reference[i].mean_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].stddev_reward, reference[i].stddev_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_realised_l2, reference[i].mean_realised_l2)
+          << "variant " << v << " row " << i;
+    }
+  }
+}
+
+// The tracing layer has the same only-observe contract as metrics: result
+// rows must be bit-identical with tracing enabled and disabled, at both
+// experiment_threads settings. A disabled TraceScope takes no clock reading;
+// an enabled one records wall-clock but must never feed back into RNG,
+// environment or model state.
+TEST_F(ExperimentsParallelTest, TraceOnOffRowsBitIdentical) {
+  const bool saved = obs::trace_enabled();
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kFgsm, attack::Kind::kPgd};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 1500;
+
+  std::vector<std::vector<RewardPoint>> results;  // [on/off][threads 1/4]
+  for (bool enabled : {true, false}) {
+    obs::set_trace_enabled(enabled);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      zoo.set_experiment_threads(threads);
+      results.push_back(run_reward_experiment(zoo, cfg, nullptr));
+    }
+  }
+  obs::set_trace_enabled(saved);
+  // The traced variants actually recorded a timeline (episode.run spans at
+  // minimum) — this test must not pass vacuously with tracing broken.
+  EXPECT_FALSE(obs::TraceLog::global().events().empty());
+  obs::TraceLog::global().reset();
 
   const auto& reference = results.front();
   for (std::size_t v = 1; v < results.size(); ++v) {

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "rlattack/obs/json_util.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/util/stats.hpp"
 #include "rlattack/util/thread_pool.hpp"
@@ -249,7 +250,10 @@ TEST(MetricsConcurrencyTest, ConcurrentRegistrationYieldsOneHandle) {
 }
 
 // Exporter golden test on a local registry with exactly-representable
-// doubles, so the byte-for-byte comparison is platform-independent.
+// doubles, so the byte-for-byte comparison is platform-independent. The
+// quantile fields are bucket representatives (10^x for non-integral x), so
+// their decimal forms are composed through the same sketch_value/fmt_double
+// helpers the exporter uses rather than hard-coded.
 TEST(MetricsJsonTest, ExportsDeterministicGoldenJson) {
   EnabledGuard guard;
   set_metrics_enabled(true);
@@ -265,6 +269,16 @@ TEST(MetricsJsonTest, ExportsDeterministicGoldenJson) {
   s.record(0.25);
   s.record(0.75);  // total 1, mean 0.5
 
+  const auto rep = [](double sample) {
+    return detail::fmt_double(detail::sketch_value(detail::sketch_index(sample)));
+  };
+  // n=3: rank(p50)=2 -> bucket of 4.0; rank(p95)=rank(p99)=3 -> bucket of 6.0.
+  const std::string h_p50 = rep(4.0);
+  const std::string h_p9x = rep(6.0);
+  // n=2: rank(p50)=1 -> bucket of 0.25; rank(p95)=rank(p99)=2 -> of 0.75.
+  const std::string s_p50 = rep(0.25);
+  const std::string s_p9x = rep(0.75);
+
   const std::string expected =
       "{\n"
       "  \"binary\": \"golden\",\n"
@@ -277,16 +291,83 @@ TEST(MetricsJsonTest, ExportsDeterministicGoldenJson) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"norms\": {\"count\": 3, \"sum\": 12, \"mean\": 4, "
-      "\"stddev\": 2, \"min\": 2, \"max\": 6, \"buckets\": "
+      "\"stddev\": 2, \"min\": 2, \"max\": 6, \"p50\": " +
+      h_p50 + ", \"p95\": " + h_p9x + ", \"p99\": " + h_p9x +
+      ", \"buckets\": "
       "[{\"le\": 3, \"count\": 1}, {\"le\": 5, \"count\": 1}, "
       "{\"le\": null, \"count\": 1}]}\n"
       "  },\n"
       "  \"spans\": {\n"
       "    \"phase\": {\"count\": 2, \"total_s\": 1, \"mean_s\": 0.5, "
-      "\"min_s\": 0.25, \"max_s\": 0.75}\n"
+      "\"min_s\": 0.25, \"max_s\": 0.75, \"p50_s\": " +
+      s_p50 + ", \"p95_s\": " + s_p9x + ", \"p99_s\": " + s_p9x +
+      "}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(registry.to_json("golden"), expected);
+}
+
+// The log-spaced sketch behind the quantile fields: index mapping is
+// monotone and bounded, representatives sit inside their bucket, and the
+// read-off is exact on distinct per-bucket samples.
+TEST(MetricsQuantileTest, SketchIndexMonotoneAndRepresentativesInBucket) {
+  EXPECT_EQ(detail::sketch_index(0.0), 0u);
+  EXPECT_EQ(detail::sketch_index(-3.0), 0u);
+  EXPECT_EQ(detail::sketch_index(1e-10), 0u);  // underflow bucket
+  EXPECT_EQ(detail::sketch_index(1e12), detail::kSketchBuckets - 1);
+  std::size_t prev = 0;
+  for (double x = 1e-8; x < 1e8; x *= 1.7) {
+    const std::size_t idx = detail::sketch_index(x);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, detail::kSketchBuckets);
+    prev = idx;
+    // Representative of x's bucket is within one bucket width (10^(1/8)
+    // relative) of x itself.
+    const double v = detail::sketch_value(idx);
+    EXPECT_GT(v / x, std::pow(10.0, -1.0 / detail::kSketchPerDecade));
+    EXPECT_LT(v / x, std::pow(10.0, 1.0 / detail::kSketchPerDecade));
+  }
+}
+
+TEST(MetricsQuantileTest, SpanQuantilesTrackDistribution) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry registry;
+  SpanStat& s = registry.span("s");
+  // 99 samples 1ms..99ms: true p50=50ms, p95=95ms, p99=99ms. The sketch
+  // answer must agree within one bucket width (10^(1/8) ~ 1.33x relative).
+  for (int i = 1; i <= 99; ++i) s.record(i * 1e-3);
+  const Quantiles q = s.quantiles();
+  EXPECT_NEAR(q.p50 / 50e-3, 1.0, 0.35);
+  EXPECT_NEAR(q.p95 / 95e-3, 1.0, 0.35);
+  EXPECT_NEAR(q.p99 / 99e-3, 1.0, 0.35);
+  EXPECT_LE(q.p50, q.p95);
+  EXPECT_LE(q.p95, q.p99);
+}
+
+// Merge-safety: quantiles over per-thread slots must equal the serial
+// answer for the same multiset of samples (sketch counts are additive).
+TEST(MetricsQuantileTest, QuantilesMergeAcrossThreadSlots) {
+  EnabledGuard guard;
+  set_metrics_enabled(true);
+  MetricsRegistry serial_reg, pooled_reg;
+  SpanStat& serial = serial_reg.span("s");
+  SpanStat& pooled = pooled_reg.span("s");
+  constexpr std::size_t kItems = 4000;
+  const auto sample = [](std::size_t i) {
+    return 1e-4 * static_cast<double>(1 + i % 997);
+  };
+  for (std::size_t i = 0; i < kItems; ++i) serial.record(sample(i));
+  util::ThreadPool::reset_global(4);
+  util::ThreadPool::global().parallel_for(
+      kItems, /*grain=*/64, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) pooled.record(sample(i));
+      });
+  const Quantiles a = serial.quantiles();
+  const Quantiles b = pooled.quantiles();
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
 }
 
 TEST(MetricsJsonTest, EmptyRegistryStillProducesValidShape) {

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Fold a forensics JSONL stream into per-episode accuracy-vs-time curves.
+
+The attack pipeline (RLATTACK_FORENSICS_OUT / --forensics-out) emits one JSON
+object per victim step.  This tool groups the records by episode, reports the
+approximator's prediction-agreement rate as a function of the step index, and
+totals the query/norm telemetry, so a forensics file answers "how good was the
+timing model over the course of each episode" without reloading the run.
+
+Usage:
+  tools/forensics_summary.py run_forensics.jsonl [--bins N] [--json OUT]
+
+With --json the summary is also written as a machine-readable JSON document;
+the human-readable table always goes to stdout.  Exit status is non-zero on
+empty or unparseable input so scripts can gate on it.
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+
+def load_records(path):
+    """Parses one JSON object per line; raises SystemExit on garbage."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            for key in ("episode", "seed", "step"):
+                if key not in rec:
+                    raise SystemExit(
+                        f"{path}:{lineno}: record missing '{key}'")
+            records.append(rec)
+    return records
+
+
+def mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize_episode(steps):
+    """One episode's records (sorted by step) -> summary dict."""
+    steps = sorted(steps, key=lambda r: r["step"])
+    scored = [r for r in steps if r.get("agree", -1) >= 0]
+    attacked = [r for r in steps if r.get("attacked")]
+    queries = {"forward": 0, "gradient": 0, "victim": 0}
+    for r in steps:
+        q = r.get("queries", {})
+        for key in queries:
+            queries[key] += q.get(key, 0)
+    detector_flags = sum(1 for r in steps
+                         if r.get("det", {}).get("flag"))
+    return {
+        "episode": steps[0]["episode"],
+        "seed": steps[0]["seed"],
+        "steps": len(steps),
+        "eligible": sum(1 for r in steps if r.get("eligible")),
+        "attacked": len(attacked),
+        "scored": len(scored),
+        "agreement": mean([r["agree"] for r in scored]),
+        "mean_l2": mean([r["l2"] for r in attacked]),
+        "mean_linf": mean([r["linf"] for r in attacked]),
+        "mean_loss": mean([r["loss"] for r in attacked if "loss" in r]),
+        "queries": queries,
+        "detector_flags": detector_flags,
+    }
+
+
+def agreement_curve(steps, bins):
+    """Accuracy-vs-time: agreement rate per step-index bin.
+
+    Bins split [0, max_step] evenly; each entry is (bin_start, bin_end,
+    scored_count, agreement_rate).  Steps with no prediction are skipped.
+    """
+    scored = [r for r in sorted(steps, key=lambda r: r["step"])
+              if r.get("agree", -1) >= 0]
+    if not scored:
+        return []
+    max_step = max(r["step"] for r in scored)
+    width = max(1, (max_step + bins) // bins)
+    buckets = defaultdict(list)
+    for r in scored:
+        buckets[r["step"] // width].append(r["agree"])
+    curve = []
+    for idx in sorted(buckets):
+        votes = buckets[idx]
+        curve.append({
+            "step_lo": idx * width,
+            "step_hi": min(max_step, (idx + 1) * width - 1),
+            "scored": len(votes),
+            "agreement": mean(votes),
+        })
+    return curve
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Summarize a forensics JSONL stream.")
+    parser.add_argument("path", help="forensics .jsonl file")
+    parser.add_argument("--bins", type=int, default=10,
+                        help="step-index bins for the accuracy curve")
+    parser.add_argument("--json", metavar="OUT",
+                        help="also write the summary as JSON to OUT")
+    args = parser.parse_args(argv)
+    if args.bins < 1:
+        parser.error("--bins must be >= 1")
+
+    records = load_records(args.path)
+    if not records:
+        print(f"{args.path}: no forensics records", file=sys.stderr)
+        return 1
+
+    episodes = defaultdict(list)
+    for rec in records:
+        episodes[(rec["episode"], rec["seed"])].append(rec)
+
+    summaries = []
+    for key in sorted(episodes):
+        steps = episodes[key]
+        summary = summarize_episode(steps)
+        summary["curve"] = agreement_curve(steps, args.bins)
+        summaries.append(summary)
+
+    print(f"forensics: {len(records)} records, {len(summaries)} episode(s)")
+    for s in summaries:
+        print(f"\nepisode {s['episode']} seed={s['seed']}: "
+              f"{s['steps']} steps, {s['attacked']} attacked, "
+              f"{s['eligible']} eligible")
+        print(f"  agreement {s['agreement']:.3f} over {s['scored']} scored "
+              f"steps; queries forward={s['queries']['forward']} "
+              f"gradient={s['queries']['gradient']} "
+              f"victim={s['queries']['victim']}")
+        print(f"  mean perturbation L2={s['mean_l2']:.5f} "
+              f"Linf={s['mean_linf']:.5f} loss={s['mean_loss']:.5f}; "
+              f"detector flags={s['detector_flags']}")
+        for point in s["curve"]:
+            bar = "#" * int(round(point["agreement"] * 40))
+            print(f"  steps {point['step_lo']:>5}-{point['step_hi']:<5} "
+                  f"agree {point['agreement']:.3f} "
+                  f"(n={point['scored']:<4}) {bar}")
+
+    if args.json:
+        doc = {"records": len(records), "episodes": summaries}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"\n(summary written to {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        rc = main()
+        sys.stdout.flush()
+    except BrokenPipeError:  # e.g. piped into head
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        rc = 0
+    sys.exit(rc)
