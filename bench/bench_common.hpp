@@ -72,8 +72,8 @@ inline void emit_timing(const std::string& experiment,
                         const core::ExperimentTiming& t) {
   std::printf(
       "[timing] experiment=%s threads=%zu episodes=%zu craft_batch=%zu "
-      "wall_s=%.3f\n",
-      experiment.c_str(), t.threads, t.episodes, t.craft_batch,
+      "eval_batch=%zu wall_s=%.3f\n",
+      experiment.c_str(), t.threads, t.episodes, t.craft_batch, t.eval_batch,
       t.wall_seconds);
   // Timing lines must survive a later abort in the same binary (stdout is
   // block-buffered when redirected to run_benches.sh's log).

@@ -43,6 +43,13 @@
 #            TSan — the rendezvous shares one model across host threads and
 #            memcpy-packs rows around the shared GEMMs, so it gets the
 #            memory- and race-checker treatment explicitly
+#   eval-batch
+#            episode-batched evaluation substrate parity suites (the
+#            ActBatch agent suites plus the EvalBatch experiment suites)
+#            under BOTH ASan and TSan, each run once per available GEMM
+#            kernel (RLATTACK_SIMD=avx2/scalar) — host threads share the
+#            ORIGINAL victim and model through one rendezvous, so the
+#            handoff gets the same treatment as the craft substrate
 #
 # Exit status: non-zero if any selected config fails. A skipped tidy step
 # (missing tool) does not fail the run; CHECKS.json records it as "skipped"
@@ -52,7 +59,7 @@ set -u -o pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-ALL_CONFIGS=(werror asan ubsan tsan checked tidy tsa tidy-plugin metrics trace simd batch)
+ALL_CONFIGS=(werror asan ubsan tsan checked tidy tsa tidy-plugin metrics trace simd batch eval-batch)
 
 # Directories the static-analysis steps cover (everything with C++ in it).
 TIDY_DIRS=(src tests bench apps examples tools)
@@ -152,7 +159,8 @@ for e in events:
     if e["ph"] == "X" and "dur" not in e:
         sys.exit(f"complete event missing 'dur': {e}")
     names.add(e["name"])
-for expected in ("pool.job", "episode.run", "phase.victim_step"):
+for expected in ("pool.job", "episode.run", "phase.victim_step",
+                 "eval.batch.flush"):
     if expected not in names:
         sys.exit(f"trace export missing '{expected}' events")
 print("TRACE export validated:", len(events), "events,",
@@ -338,8 +346,10 @@ run_config() {
       local trace_json="${LOG_DIR}/trace.json"
       if [ ${rc} -eq 0 ]; then
         rm -f "${trace_json}"
+        # RLATTACK_EVAL_BATCH=1 engages the episode-batched eval substrate so
+        # the validated timeline also carries its rendezvous flush events.
         RLATTACK_TRACE=1 RLATTACK_TRACE_OUT="${trace_json}" \
-          RLATTACK_THREADS=4 run_logged "${log}" \
+          RLATTACK_THREADS=4 RLATTACK_EVAL_BATCH=1 run_logged "${log}" \
           build/tests/experiments_parallel_test \
           --gtest_filter='*MetricsInstrumentationObservesExperiment*' || rc=1
       fi
@@ -379,6 +389,47 @@ run_config() {
           --gtest_filter='*CraftBatch*:*WorkerPool*' || rc=1
       fi
       DETAIL[${name}]="batched-craft parity suites under ASan + TSan"
+      ;;
+    eval-batch)
+      # The eval-rendezvous suites assert bit-identity of experiment rows
+      # with the substrate on vs off, so running them once per GEMM kernel
+      # proves the contract holds under either micro-kernel. Scalar is
+      # always available; avx2 joins when the host supports it.
+      local modes="scalar"
+      if grep -q 'avx2' /proc/cpuinfo 2>/dev/null && \
+         grep -q 'fma' /proc/cpuinfo 2>/dev/null; then
+        modes="avx2 scalar"
+      fi
+      configure_build eval-batch build-asan "${log}" \
+        -DRLATTACK_ASAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        local mode
+        for mode in ${modes}; do
+          echo "--- ASan RLATTACK_SIMD=${mode} ---" >>"${log}"
+          ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+            RLATTACK_THREADS=4 RLATTACK_SIMD="${mode}" run_logged "${log}" \
+            build-asan/tests/rl_test --gtest_filter='*ActBatch*' || rc=1
+          ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}" \
+            RLATTACK_THREADS=4 RLATTACK_SIMD="${mode}" run_logged "${log}" \
+            build-asan/tests/experiments_parallel_test \
+            --gtest_filter='*EvalBatch*' || rc=1
+        done
+      fi
+      configure_build eval-batch build-tsan "${log}" \
+        -DRLATTACK_TSAN=ON -DRLATTACK_BUILD_BENCH=OFF \
+        -DRLATTACK_BUILD_EXAMPLES=OFF || rc=1
+      if [ ${rc} -eq 0 ]; then
+        local mode
+        for mode in ${modes}; do
+          echo "--- TSan RLATTACK_SIMD=${mode} ---" >>"${log}"
+          TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+            RLATTACK_THREADS=4 RLATTACK_SIMD="${mode}" run_logged "${log}" \
+            build-tsan/tests/experiments_parallel_test \
+            --gtest_filter='*EvalBatch*' || rc=1
+        done
+      fi
+      DETAIL[${name}]="episode-batched eval parity suites under ASan + TSan x SIMD kernels"
       ;;
     simd)
       # Dispatch parity: the kernel/attention parity suites must pass when

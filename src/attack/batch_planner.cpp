@@ -44,6 +44,28 @@ std::atomic<std::size_t>& batch_width() {
   return width;
 }
 
+/// RLATTACK_EVAL_BATCH: same grammar as RLATTACK_CRAFT_BATCH ("0" = kill
+/// switch, integer > 1 = enabled with that rendezvous width, anything else
+/// including unset = enabled at the default width).
+BatchEnv parse_eval_env() {
+  BatchEnv out;
+  const std::optional<long> v = util::env::get_long(util::env::Var::kEvalBatch);
+  if (!v) return out;
+  if (*v == 0) out.enabled = false;
+  if (*v > 1) out.width = static_cast<std::size_t>(*v);
+  return out;
+}
+
+std::atomic<bool>& eval_flag() {
+  static std::atomic<bool> enabled{parse_eval_env().enabled};
+  return enabled;
+}
+
+std::atomic<std::size_t>& eval_width() {
+  static std::atomic<std::size_t> width{parse_eval_env().width};
+  return width;
+}
+
 std::size_t parse_stall_env() {
   if (const std::optional<long> v =
           util::env::get_long(util::env::Var::kTraceStallMs);
@@ -68,6 +90,13 @@ struct PlannerMetrics {
   obs::SpanStat& gather = reg.span("craft.batch.gather");
   obs::SpanStat& scatter = reg.span("craft.batch.scatter");
   obs::Counter& stall = reg.counter("craft.batch.stall");
+  // Episode-batched evaluation: the same rendezvous telemetry for the
+  // per-step victim/approximator query family.
+  obs::Histogram& eval_batch_size =
+      reg.histogram("eval.batch.size", {1, 2, 4, 8, 16, 32, 64});
+  obs::Counter& eval_flushes = reg.counter("eval.batch.flushes");
+  obs::Counter& eval_probes = reg.counter("eval.batch.probes");
+  obs::Counter& eval_stall = reg.counter("eval.batch.stall");
 };
 PlannerMetrics& planner_metrics() {
   static PlannerMetrics metrics;
@@ -92,6 +121,22 @@ void set_craft_batch_width(std::size_t width) noexcept {
   batch_width().store(width == 0 ? 1 : width, std::memory_order_relaxed);
 }
 
+bool eval_batch_enabled() noexcept {
+  return eval_flag().load(std::memory_order_relaxed);
+}
+
+void set_eval_batch_enabled(bool enabled) noexcept {
+  eval_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t eval_batch_width() noexcept {
+  return eval_width().load(std::memory_order_relaxed);
+}
+
+void set_eval_batch_width(std::size_t width) noexcept {
+  eval_width().store(width == 0 ? 1 : width, std::memory_order_relaxed);
+}
+
 std::size_t stall_watchdog_ms() noexcept {
   return stall_ms().load(std::memory_order_relaxed);
 }
@@ -106,10 +151,24 @@ BatchedCraftPlanner::BatchedCraftPlanner(seq2seq::Seq2SeqModel& model)
 BatchedCraftPlanner::~BatchedCraftPlanner() {
   if constexpr (util::kCheckedBuild) {
     util::MutexLock lock(mu_);
-    RLATTACK_CHECK(enrolled_ == 0 && queue_.empty(),
+    RLATTACK_CHECK(enrolled_ == 0 && queue_.empty() && eval_queue_.empty(),
                    "BatchedCraftPlanner destroyed with live participants "
                    "or pending probes");
   }
+}
+
+void BatchedCraftPlanner::set_victim_handler(EvalHandler handler) {
+  if constexpr (util::kCheckedBuild) {
+    util::MutexLock lock(mu_);
+    RLATTACK_CHECK(enrolled_ == 0,
+                   "BatchedCraftPlanner::set_victim_handler: handler must be "
+                   "registered before participants enroll");
+  }
+  victim_handler_ = std::move(handler);
+}
+
+bool BatchedCraftPlanner::has_victim_handler() const noexcept {
+  return static_cast<bool>(victim_handler_);
 }
 
 BatchedCraftPlanner::Participant::Participant(BatchedCraftPlanner& planner)
@@ -143,11 +202,8 @@ void BatchedCraftPlanner::retire() noexcept {
                      static_cast<double>(enrolled_));
   // Leaving the rendezvous can complete it: if everyone still enrolled is
   // already waiting, the retiring thread runs the flush on their behalf.
-  if (!queue_.empty() && queue_.size() == enrolled_) {
-    obs::TraceScope trace("craft.flush", "rows",
-                          static_cast<double>(queue_.size()));
-    flush_locked();
-  }
+  if (pending_locked() > 0 && pending_locked() == enrolled_)
+    flush_ready_locked();
 }
 
 void BatchedCraftPlanner::submit(Probe& probe) {
@@ -165,18 +221,16 @@ void BatchedCraftPlanner::submit(Probe& probe) {
   util::MutexLock lock(mu_);
   if constexpr (util::kCheckedBuild) {
     // A probe from a thread without a live Participant could make
-    // queue_.size() exceed enrolled_ and deadlock the rendezvous.
-    RLATTACK_CHECK(enrolled_ > queue_.size(),
+    // pending_locked() exceed enrolled_ and deadlock the rendezvous.
+    RLATTACK_CHECK(enrolled_ > pending_locked(),
                    "BatchedCraftPlanner::submit: probe without a live "
                    "Participant enrollment");
   }
   queue_.push_back(&probe);
-  if (queue_.size() == enrolled_) {
+  if (pending_locked() == enrolled_) {
     // Last arrival executes the whole batch; everyone else is parked on
     // cv_ below, so holding mu_ through the model work is deadlock-free.
-    obs::TraceScope trace("craft.flush", "rows",
-                          static_cast<double>(queue_.size()));
-    flush_locked();
+    flush_ready_locked();
     return;
   }
   // The wait is a span, so a stalled rendezvous shows as a wide
@@ -205,6 +259,74 @@ void BatchedCraftPlanner::submit(Probe& probe) {
   } else {
     while (!probe.done) cv_.wait(lock.native_lock());
   }
+}
+
+void BatchedCraftPlanner::submit(EvalProbe& probe) {
+  if constexpr (util::kCheckedBuild) {
+    // Same host discipline as craft probes: rendezvous hosts must be
+    // dedicated threads, never global-pool workers (see submit(Probe&)).
+    RLATTACK_CHECK(!util::ThreadPool::inside_worker(),
+                   "BatchedCraftPlanner::submit called from a thread-pool "
+                   "worker; rendezvous hosts must be dedicated threads");
+    RLATTACK_CHECK(has_victim_handler(),
+                   "BatchedCraftPlanner::submit(EvalProbe): no victim "
+                   "handler registered");
+  }
+  util::MutexLock lock(mu_);
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(enrolled_ > pending_locked(),
+                   "BatchedCraftPlanner::submit: eval probe without a live "
+                   "Participant enrollment");
+  }
+  eval_queue_.push_back(&probe);
+  if (pending_locked() == enrolled_) {
+    flush_ready_locked();
+    return;
+  }
+  obs::TraceScope trace("eval.submit_wait", "queued",
+                        static_cast<double>(eval_queue_.size()));
+  if constexpr (util::kCheckedBuild) {
+    // Eval-side stall watchdog, mirroring the craft wait loop above.
+    const auto interval =
+        std::chrono::milliseconds(static_cast<long>(stall_watchdog_ms()));
+    while (!probe.done) {
+      if (cv_.wait_for(lock.native_lock(), interval) ==
+              std::cv_status::timeout &&
+          !probe.done) {
+        planner_metrics().eval_stall.add();
+        obs::trace_instant("eval.batch.stall", "interval_ms",
+                           static_cast<double>(stall_watchdog_ms()));
+      }
+    }
+  } else {
+    while (!probe.done) cv_.wait(lock.native_lock());
+  }
+}
+
+void BatchedCraftPlanner::flush_ready_locked() {
+  // Eval probes first, craft probes second. The order is immaterial for
+  // correctness — both families' batched evaluation is per-row
+  // bit-identical to serial, and no probe depends on another in the same
+  // rendezvous round — so it is fixed here purely for determinism of the
+  // trace timeline.
+  if (!eval_queue_.empty()) {
+    PlannerMetrics& metrics = planner_metrics();
+    const std::size_t rows = eval_queue_.size();
+    obs::TraceScope trace("eval.batch.flush", "rows",
+                          static_cast<double>(rows));
+    metrics.eval_flushes.add();
+    metrics.eval_probes.add(rows);
+    metrics.eval_batch_size.record(static_cast<double>(rows));
+    victim_handler_(std::span<EvalProbe* const>(eval_queue_));
+    for (EvalProbe* probe : eval_queue_) probe->done = true;
+    eval_queue_.clear();
+  }
+  if (!queue_.empty()) {
+    obs::TraceScope trace("craft.flush", "rows",
+                          static_cast<double>(queue_.size()));
+    flush_locked();
+  }
+  cv_.notify_all();
 }
 
 void BatchedCraftPlanner::flush_locked() {

@@ -27,6 +27,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "rlattack/attack/attack.hpp"
@@ -50,6 +52,22 @@ void set_craft_batch_enabled(bool enabled) noexcept;
 /// beyond ~32 are flat).
 std::size_t craft_batch_width() noexcept;
 void set_craft_batch_width(std::size_t width) noexcept;
+
+/// Whether the episode drivers batch concurrent episodes' per-step
+/// evaluation queries (victim policy actions, approximator agreement
+/// probes) through the same rendezvous. On by default; RLATTACK_EVAL_BATCH
+/// sets the process-initial value with the same grammar as
+/// RLATTACK_CRAFT_BATCH: "0" disables (bit-identically falling back to the
+/// per-worker single-row drivers), an integer > 1 both enables and
+/// overrides the rendezvous width.
+bool eval_batch_enabled() noexcept;
+void set_eval_batch_enabled(bool enabled) noexcept;
+
+/// Concurrent episode hosts an eval-batched driver runs (the rendezvous
+/// width upper bound). Defaults to 32, same rationale as
+/// craft_batch_width(); RLATTACK_EVAL_BATCH=<int greater than 1> overrides.
+std::size_t eval_batch_width() noexcept;
+void set_eval_batch_width(std::size_t width) noexcept;
 
 /// Checked builds only: a participant parked in the rendezvous longer than
 /// this interval (milliseconds) emits a "craft.batch.stall" instant trace
@@ -96,6 +114,42 @@ class BatchedCraftPlanner {
     bool retired_ = false;
   };
 
+  // --- Episode-batched evaluation substrate -------------------------------
+  //
+  // The craft rendezvous generalizes to any per-step query family whose
+  // batched evaluation is per-row bit-identical to its serial form. Eval
+  // probes carry an opaque observation row; the driver registers a handler
+  // (typically rl::Agent::act_batch over the gathered rows) so this layer
+  // stays free of rl types. Craft probes and eval probes share ONE enrolled
+  // set and one rendezvous condition — pending craft + eval probes ==
+  // enrolled participants — because an episode blocks on whichever query
+  // its step needs next; two independent rendezvous over the same hosts
+  // would deadlock.
+
+  /// One pending evaluation query: an observation row in, an action out.
+  /// `observation` aliases caller-owned storage that must stay alive until
+  /// submit() returns; `action` is written by the flushing thread under the
+  /// planner lock before `done` flips.
+  struct EvalProbe {
+    const nn::Tensor* observation = nullptr;  ///< [S...] agent-shaped row
+    std::size_t action = 0;
+    bool done = false;
+  };
+
+  /// Batched resolver for a flush's gathered eval probes: reads every
+  /// probe's observation, writes every probe's action. Runs under the
+  /// planner lock on the flushing host thread — single-threaded access to
+  /// whatever model it wraps, exactly like the craft flush.
+  using EvalHandler = std::function<void(std::span<EvalProbe* const>)>;
+
+  /// Registers the eval resolver. Must be called before host threads start
+  /// submitting; a planner without a handler rejects eval probes (checked).
+  void set_victim_handler(EvalHandler handler);
+  bool has_victim_handler() const noexcept;
+
+  /// Blocks the calling participant until a flush answers the probe.
+  void submit(EvalProbe& probe) RLATTACK_EXCLUDES(mu_);
+
  private:
   friend class CraftContext;
 
@@ -137,18 +191,30 @@ class BatchedCraftPlanner {
   void submit(Probe& probe) RLATTACK_EXCLUDES(mu_);
   void enroll() RLATTACK_EXCLUDES(mu_);
   void retire() noexcept RLATTACK_EXCLUDES(mu_);
-  /// Executes every queued probe as one batched model pass. Caller holds
-  /// mu_; all other enrolled participants are parked on cv_.
+  /// Executes every queued craft probe as one batched model pass. Caller
+  /// holds mu_; all other enrolled participants are parked on cv_.
   void flush_locked() RLATTACK_REQUIRES(mu_);
+  /// Completes the rendezvous: resolves the pending eval probes through the
+  /// victim handler, then the pending craft probes through flush_locked(),
+  /// and wakes every parked submitter.
+  void flush_ready_locked() RLATTACK_REQUIRES(mu_);
+  /// Total pending probes across both families.
+  std::size_t pending_locked() const RLATTACK_REQUIRES(mu_) {
+    return queue_.size() + eval_queue_.size();
+  }
 
   seq2seq::Seq2SeqModel& model_;
+  EvalHandler victim_handler_;  ///< set before hosts start, then read-only
   util::Mutex mu_;
   std::condition_variable cv_;
   /// Participants that may still probe; a flush fires when every one of
-  /// them has a probe queued (queue_.size() == enrolled_).
+  /// them has a probe queued across the two families (pending_locked() ==
+  /// enrolled_).
   std::size_t enrolled_ RLATTACK_GUARDED_BY(mu_) = 0;
-  /// Pending probes of the rendezvous in arrival order; cleared by flush.
+  /// Pending craft probes in arrival order; cleared by flush.
   std::vector<Probe*> queue_ RLATTACK_GUARDED_BY(mu_);
+  /// Pending evaluation probes in arrival order; cleared by flush.
+  std::vector<EvalProbe*> eval_queue_ RLATTACK_GUARDED_BY(mu_);
 };
 
 }  // namespace rlattack::attack

@@ -21,7 +21,8 @@ obs::Span experiment_span(const char* metric) {
 
 void finish_timing(ExperimentTiming* timing, obs::Span& span,
                    std::size_t threads, std::size_t episodes,
-                   std::size_t craft_batch, const char* name) {
+                   std::size_t craft_batch, std::size_t eval_batch,
+                   const char* name) {
   span.stop();
   const double wall = span.seconds();
   if (timing) {
@@ -29,10 +30,11 @@ void finish_timing(ExperimentTiming* timing, obs::Span& span,
     timing->threads = threads;
     timing->episodes = episodes;
     timing->craft_batch = craft_batch;
+    timing->eval_batch = eval_batch;
   }
   util::log_info(name, ": ", episodes, " episodes in ", wall, " s (",
                  threads, " episode workers, craft batch ", craft_batch,
-                 ")");
+                 ", eval batch ", eval_batch, ")");
 }
 
 }  // namespace
@@ -103,7 +105,8 @@ std::vector<RewardPoint> run_reward_experiment(
                    " +/- ", point.stddev_reward);
   }
   finish_timing(timing, span, threads, jobs.size(),
-                resolve_craft_batch(jobs), "reward experiment");
+                resolve_craft_batch(jobs), resolve_eval_batch(jobs),
+                "reward experiment");
   return points;
 }
 
@@ -165,7 +168,8 @@ std::vector<TransferabilityPoint> run_transferability_experiment(
                    samples, " samples)");
   }
   finish_timing(timing, span, threads, jobs.size(),
-                resolve_craft_batch(jobs), "transferability experiment");
+                resolve_craft_batch(jobs), resolve_eval_batch(jobs),
+                "transferability experiment");
   return points;
 }
 
@@ -261,7 +265,8 @@ std::vector<TimeBombPoint> run_timebomb_experiment(
                    point.success_rate, " (", trials, " trials)");
   }
   finish_timing(timing, span, threads, jobs.size(),
-                resolve_craft_batch(jobs), "timebomb experiment");
+                resolve_craft_batch(jobs), resolve_eval_batch(jobs),
+                "timebomb experiment");
   return points;
 }
 

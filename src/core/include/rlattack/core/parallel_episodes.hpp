@@ -37,6 +37,9 @@ struct ExperimentTiming {
   /// Concurrent-host count of the batched craft substrate (0 = the run used
   /// the unbatched per-episode model path).
   std::size_t craft_batch = 0;
+  /// Concurrent-host count of the episode-batched evaluation substrate
+  /// (0 = per-step victim/approximator queries ran single-row).
+  std::size_t eval_batch = 0;
 };
 
 /// Episode-worker count an experiment driver should use. `requested` > 0
@@ -55,11 +58,30 @@ std::size_t resolve_experiment_threads(std::size_t requested);
 /// gather/scatter overhead.
 std::size_t resolve_craft_batch(const std::vector<EpisodeJob>& jobs);
 
+/// Concurrent-host count of the episode-batched evaluation substrate:
+/// min(attack::eval_batch_width(), jobs.size()) when the substrate is
+/// enabled (RLATTACK_EVAL_BATCH), the craft cache is on, and the job list
+/// has at least two episodes. Unlike resolve_craft_batch there is no
+/// enrollability filter — every episode queries the victim policy every
+/// step, so every job benefits from the fused act_batch forwards. 0 means
+/// run_episode_jobs falls through to the next path.
+std::size_t resolve_eval_batch(const std::vector<EpisodeJob>& jobs);
+
 /// Runs every job against (victim, model) for `game`, returning outcomes
 /// indexed by job position.
 ///
 /// Path selection, in precedence order:
-///   1. Batched craft substrate (resolve_craft_batch(jobs) > 0): that many
+///   1. Episode-batched evaluation (resolve_eval_batch(jobs) > 0): that
+///      many host threads share ONE attack::BatchedCraftPlanner bound to
+///      the ORIGINAL victim and model — no clones at all. Per-step victim
+///      policy queries fuse into shared act_batch forwards through the
+///      planner's victim handler, and enrolled episodes' approximator
+///      queries batch through the same rendezvous, so this path subsumes
+///      the craft substrate (it batches craft probes even when
+///      RLATTACK_CRAFT_BATCH=0 — the craft kill switch selects the
+///      reporting/fallback path, not per-probe routing, and rows are
+///      bit-identical either way).
+///   2. Batched craft substrate (resolve_craft_batch(jobs) > 0): that many
 ///      host threads share ONE attack::BatchedCraftPlanner bound to the
 ///      original `model`; every approximator query of every concurrently
 ///      running episode lands in one shared tail GEMM batch. Hosts use
@@ -67,9 +89,9 @@ std::size_t resolve_craft_batch(const std::vector<EpisodeJob>& jobs);
 ///      serialized inside the planner flush). Host count comes from the
 ///      substrate width, not `threads` — on a single-core machine the win
 ///      is arithmetic intensity, not parallelism.
-///   2. threads == 1: jobs run in order on the calling thread against the
+///   3. threads == 1: jobs run in order on the calling thread against the
 ///      original victim and model (historical serial path).
-///   3. threads > 1: min(threads, jobs) workers — each with its own pooled
+///   4. threads > 1: min(threads, jobs) workers — each with its own pooled
 ///      victim/model clone and a per-job AttackSession + attack instance —
 ///      pull jobs from a shared queue over the global pool.
 ///

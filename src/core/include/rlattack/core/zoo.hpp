@@ -9,6 +9,7 @@
 
 #include "rlattack/env/factory.hpp"
 #include "rlattack/rl/agent.hpp"
+#include "rlattack/rl/trainer.hpp"
 #include "rlattack/seq2seq/trainer.hpp"
 
 namespace rlattack::core {
@@ -84,8 +85,9 @@ class Zoo {
   std::string victim_key(env::Game game, rl::Algorithm algorithm) const;
   rl::AgentPtr build_agent(env::Game game, rl::Algorithm algorithm,
                            std::uint64_t seed) const;
-  void train_victim(rl::Agent& agent, env::Game game,
-                    rl::Algorithm algorithm);
+  rl::TrainResult train_victim(rl::Agent& agent, env::Game game,
+                               rl::Algorithm algorithm,
+                               const rl::TrainConfig& tc);
 
   ZooConfig config_;
   std::map<std::string, rl::AgentPtr> victims_;

@@ -6,6 +6,7 @@
 #include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/obs/trace.hpp"
+#include "rlattack/rl/batch.hpp"
 #include "rlattack/util/check.hpp"
 #include "rlattack/util/env.hpp"
 #include "rlattack/util/thread_pool.hpp"
@@ -34,6 +35,19 @@ std::size_t resolve_craft_batch(const std::vector<EpisodeJob>& jobs) {
       ++enrollable;
   if (enrollable < 2) return 0;
   const std::size_t hosts = std::min(attack::craft_batch_width(), jobs.size());
+  return hosts >= 2 ? hosts : 0;
+}
+
+std::size_t resolve_eval_batch(const std::vector<EpisodeJob>& jobs) {
+  // Gated on the craft cache like resolve_craft_batch: enrolled episodes
+  // route their approximator queries through the planner, whose flush is
+  // built on the cached-encoding batch calls.
+  if (!attack::eval_batch_enabled() || !attack::craft_cache_enabled())
+    return 0;
+  // Every episode queries the victim every step, so every job can enroll —
+  // a rendezvous just needs two of them.
+  if (jobs.size() < 2) return 0;
+  const std::size_t hosts = std::min(attack::eval_batch_width(), jobs.size());
   return hosts >= 2 ? hosts : 0;
 }
 
@@ -237,6 +251,62 @@ std::vector<EpisodeOutcome> run_jobs_batched(rl::Agent& victim, env::Game game,
   return outcomes;
 }
 
+/// Episode-batched evaluation: `hosts` plain threads share one planner
+/// bound to the ORIGINAL victim and model — no clones, no worker pool. The
+/// planner's victim handler fuses the concurrent episodes' per-step policy
+/// queries into one act_batch forward, and enrolled episodes' approximator
+/// queries batch through the same rendezvous exactly as run_jobs_batched's
+/// do. All victim and model access happens inside the flush, one thread at
+/// a time; host threads only ever block at the rendezvous.
+std::vector<EpisodeOutcome> run_jobs_eval_batched(
+    rl::Agent& victim, env::Game game, seq2seq::Seq2SeqModel& model,
+    const std::vector<EpisodeJob>& jobs, std::size_t hosts) {
+  std::vector<EpisodeOutcome> outcomes(jobs.size());
+  obs::TraceScope trace("episodes.dispatch", "jobs",
+                        static_cast<double>(jobs.size()), "hosts",
+                        static_cast<double>(hosts));
+  const std::vector<std::uint64_t> expected = checked_stream_hashes(jobs);
+
+  attack::BatchedCraftPlanner planner(model);
+  planner.set_victim_handler(
+      [&victim](
+          std::span<attack::BatchedCraftPlanner::EvalProbe* const> probes) {
+        std::vector<const nn::Tensor*> rows(probes.size());
+        for (std::size_t r = 0; r < probes.size(); ++r)
+          rows[r] = probes[r]->observation;
+        const std::vector<std::size_t> actions = victim.act_batch(
+            rl::batch_observations(rows), /*explore=*/false);
+        for (std::size_t r = 0; r < probes.size(); ++r)
+          probes[r]->action = actions[r];
+      });
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  {
+    std::vector<std::thread> host_threads;
+    host_threads.reserve(hosts);
+    for (std::size_t h = 0; h < hosts; ++h) {
+      host_threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          checked_stream_purity(jobs[i], i, expected);
+          outcomes[i] = run_one_job(victim, game, model, jobs[i], &planner);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : host_threads) t.join();
+  }
+  if constexpr (util::kCheckedBuild) {
+    RLATTACK_CHECK(completed.load(std::memory_order_relaxed) == jobs.size(),
+                   "run_episode_jobs: " + std::to_string(completed.load()) +
+                       " of " + std::to_string(jobs.size()) +
+                       " jobs completed — outcome vector has holes");
+  }
+  return outcomes;
+}
+
 }  // namespace
 
 std::vector<EpisodeOutcome> run_episode_jobs(
@@ -244,6 +314,14 @@ std::vector<EpisodeOutcome> run_episode_jobs(
     const std::vector<EpisodeJob>& jobs, std::size_t threads) {
   std::vector<EpisodeOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
+
+  const std::size_t eval_hosts = resolve_eval_batch(jobs);
+  if (eval_hosts > 0) {
+    obs::MetricsRegistry::global()
+        .gauge("experiment.workers")
+        .set(static_cast<double>(eval_hosts));
+    return run_jobs_eval_batched(victim, game, model, jobs, eval_hosts);
+  }
 
   const std::size_t batch_hosts = resolve_craft_batch(jobs);
   if (batch_hosts > 0) {

@@ -102,17 +102,36 @@ EpisodeOutcome AttackSession::run_episode(
   obs::TraceScope episode_trace("episode.run", "seed",
                                 static_cast<double>(episode_seed));
   const bool forensics = obs::forensics_enabled();
-  // Enroll in the batched-craft rendezvous only if this episode can ever
-  // query the approximator — clean runs and model-free attacks would just
-  // stall the other participants' flushes. The forensics stream probes the
-  // model every eligible step (prediction agreement), so with it on every
-  // episode enrolls: the shared model may only be touched through the
+  // Episode-batched evaluation: when the driver registered a victim
+  // handler, every per-step victim query is routed through the rendezvous
+  // so B concurrent episodes' rows fuse into one act_batch forward.
+  const bool victim_batched =
+      planner != nullptr && planner->has_victim_handler();
+  // Enroll in the rendezvous only if this episode can ever query through
+  // it — with craft batching alone that means the approximator (clean runs
+  // and model-free attacks would just stall the other participants'
+  // flushes); with a victim handler every episode queries the victim every
+  // step, so every episode enrolls. The forensics stream probes the model
+  // every eligible step (prediction agreement), so with it on every episode
+  // enrolls too: the shared model may only be touched through the
   // rendezvous.
   std::optional<attack::BatchedCraftPlanner::Participant> participant;
   if (planner != nullptr &&
-      ((policy.mode != AttackPolicy::Mode::kNone && attack_.uses_model()) ||
+      (victim_batched ||
+       (policy.mode != AttackPolicy::Mode::kNone && attack_.uses_model()) ||
        forensics))
     participant.emplace(*planner);
+  // Victim policy query: serial single-row act(), or one EvalProbe through
+  // the rendezvous. Takes the observation by value — the row must outlive
+  // the blocking submit, and the serial path's act() copies it into the
+  // agent's scratch row anyway.
+  const auto victim_act = [&](nn::Tensor observation) -> std::size_t {
+    if (!victim_batched) return victim_.act(observation, false);
+    attack::BatchedCraftPlanner::EvalProbe probe;
+    probe.observation = &observation;
+    planner->submit(probe);
+    return probe.action;
+  };
   const std::uint64_t forensics_key =
       forensics ? episode_forensics_key(policy, budget_, attack_.name(),
                                         episode_seed)
@@ -268,8 +287,8 @@ EpisodeOutcome AttackSession::run_episode(
         rec.has_loss = true;
       }
       // Victim's counterfactual action on the clean frame this step.
-      clean_action = victim_.act(
-          accumulator.peek_with(frame).reshaped(agent_obs_shape_), false);
+      clean_action =
+          victim_act(accumulator.peek_with(frame).reshaped(agent_obs_shape_));
       delivered = perturbed_flat.reshaped(frame.shape());
       ++outcome.attacks_attempted;
       if (policy.mode == AttackPolicy::Mode::kSingleStep) {
@@ -277,9 +296,12 @@ EpisodeOutcome AttackSession::run_episode(
         outcome.fired_step = outcome.steps;
         // No further attack queries can come from this episode; leave the
         // rendezvous so the remaining participants' flushes stop waiting.
-        // Unless forensics is on: its per-step prediction probes keep
-        // coming, and an unenrolled probe would trip the planner's checks.
-        if (participant.has_value() && !forensics) participant->retire();
+        // Unless forensics is on (its per-step prediction probes keep
+        // coming) or the victim is batched (every remaining step still
+        // queries the victim through the rendezvous) — an unenrolled probe
+        // would trip the planner's checks.
+        if (participant.has_value() && !forensics && !victim_batched)
+          participant->retire();
       }
     }
 
@@ -288,7 +310,7 @@ EpisodeOutcome AttackSession::run_episode(
     const std::size_t action = [&] {
       obs::TraceScope trace("phase.victim_step");
       obs::Span span(metrics.victim_step);
-      return victim_.act(stacked.reshaped(agent_obs_shape_), false);
+      return victim_act(stacked.reshaped(agent_obs_shape_));
     }();
     if (attack_now && action != clean_action) ++outcome.immediate_flips;
 

@@ -1,6 +1,7 @@
 #include "rlattack/core/zoo.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -20,6 +21,66 @@ namespace {
 std::size_t scaled(std::size_t base, double scale) {
   return std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(base) * scale));
+}
+
+// The per-(game, algorithm) training budget. Factored out of train_victim so
+// Zoo::victim can hash the exact config a cached checkpoint would have to
+// match before trusting it.
+rl::TrainConfig victim_train_config(env::Game game, rl::Algorithm algorithm,
+                                    double scale, bool verbose) {
+  rl::TrainConfig tc;
+  tc.verbose = verbose;
+  switch (game) {
+    case env::Game::kCartPole:
+      tc.episodes = scaled(400, scale);
+      tc.target_reward = 180.0;
+      // Single-worker on-policy A2C is roughly an order of magnitude less
+      // sample-efficient on CartPole than the replay-based value learners:
+      // under the shared 400-episode budget it never leaves the ~10-step
+      // random-policy regime (final avg reward ~10), which is what made the
+      // fig4/fig7 a2c rows finish in milliseconds — 60 nine-step episodes
+      // with almost no attack-eligible steps (EXPERIMENTS.md). With 10x
+      // episodes it reaches the 180 early-stop target in ~1 s of wall
+      // clock, so the bigger budget costs little once converged.
+      if (algorithm == rl::Algorithm::kA2c) tc.episodes *= 10;
+      break;
+    case env::Game::kMiniPong:
+      tc.episodes = scaled(180, scale);
+      tc.target_reward = 2.4;
+      break;
+    case env::Game::kMiniInvaders:
+      tc.episodes = scaled(180, scale);
+      tc.target_reward = 10.0;
+      break;
+  }
+  return tc;
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// Stable hash over everything the trained weights depend on: the training
+// budget, the early-stop contract and the seed. A checkpoint trained under
+// any other config (e.g. the pre-fix degenerate A2C budget) hashes
+// differently and is retrained instead of silently reused.
+std::uint64_t victim_train_hash(env::Game game, rl::Algorithm algorithm,
+                                const rl::TrainConfig& tc,
+                                std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(game));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(algorithm));
+  h = fnv1a_mix(h, tc.episodes);
+  std::uint64_t target_bits = 0;
+  std::memcpy(&target_bits, &tc.target_reward, sizeof(target_bits));
+  h = fnv1a_mix(h, target_bits);
+  h = fnv1a_mix(h, tc.window);
+  h = fnv1a_mix(h, seed);
+  return h;
 }
 
 seq2seq::Seq2SeqConfig approx_config(env::Game game, std::size_t actions,
@@ -55,40 +116,17 @@ rl::AgentPtr Zoo::build_agent(env::Game game, rl::Algorithm algorithm,
   return rl::make_agent(algorithm, spec, probe->action_count(), seed);
 }
 
-void Zoo::train_victim(rl::Agent& agent, env::Game game,
-                       rl::Algorithm algorithm) {
+rl::TrainResult Zoo::train_victim(rl::Agent& agent, env::Game game,
+                                  rl::Algorithm algorithm,
+                                  const rl::TrainConfig& tc) {
   obs::Span span(obs::MetricsRegistry::global().span("zoo.train_victim"));
-  rl::TrainConfig tc;
-  tc.verbose = config_.verbose;
-  switch (game) {
-    case env::Game::kCartPole:
-      tc.episodes = scaled(400, config_.scale);
-      tc.target_reward = 180.0;
-      // Single-worker on-policy A2C is roughly an order of magnitude less
-      // sample-efficient on CartPole than the replay-based value learners:
-      // under the shared 400-episode budget it never leaves the ~10-step
-      // random-policy regime (final avg reward ~10), which is what made the
-      // fig4/fig7 a2c rows finish in milliseconds — 60 nine-step episodes
-      // with almost no attack-eligible steps (EXPERIMENTS.md). With 10x
-      // episodes it reaches the 180 early-stop target in ~1 s of wall
-      // clock, so the bigger budget costs little once converged.
-      if (algorithm == rl::Algorithm::kA2c) tc.episodes *= 10;
-      break;
-    case env::Game::kMiniPong:
-      tc.episodes = scaled(180, config_.scale);
-      tc.target_reward = 2.4;
-      break;
-    case env::Game::kMiniInvaders:
-      tc.episodes = scaled(180, config_.scale);
-      tc.target_reward = 10.0;
-      break;
-  }
   env::EnvPtr train_env = env::make_agent_environment(
       game, config_.seed ^ (0x1234u + static_cast<unsigned>(algorithm)));
   rl::TrainResult result = rl::train_agent(agent, *train_env, tc);
   util::log_info("zoo: trained ", rl::algorithm_name(algorithm), " on ",
                  env::game_name(game), ": ", result.episode_rewards.size(),
                  " episodes, final avg reward ", result.final_average);
+  return result;
 }
 
 rl::Agent& Zoo::victim(env::Game game, rl::Algorithm algorithm) {
@@ -99,13 +137,47 @@ rl::Agent& Zoo::victim(env::Game game, rl::Algorithm algorithm) {
   rl::AgentPtr agent =
       build_agent(game, algorithm, config_.seed ^ std::hash<std::string>{}(key));
   const std::string path = config_.cache_dir + "/" + key + ".ckpt";
-  if (std::filesystem::exists(path) &&
-      nn::load_parameters(agent->network(), path)) {
-    util::log_info("zoo: loaded victim ", key, " from ", path);
-  } else {
-    train_victim(*agent, game, algorithm);
-    if (!nn::save_parameters(agent->network(), path))
+  const std::string meta = path + ".meta";
+  const rl::TrainConfig tc =
+      victim_train_config(game, algorithm, config_.scale, config_.verbose);
+  const std::uint64_t want_hash =
+      victim_train_hash(game, algorithm, tc, config_.seed);
+
+  // A cached checkpoint is only trusted when its sidecar proves it was
+  // trained under exactly this config. Loading any bytes that happen to
+  // parse would silently resurrect stale artefacts — e.g. an A2C victim
+  // trained under a since-fixed degenerate budget — and every downstream
+  // figure would quietly measure the wrong agent. A checkpoint that is
+  // below the early-stop target is only accepted with a matching hash:
+  // training is seed-deterministic, so rerunning the identical config
+  // would reproduce the identical below-target weights (several
+  // small-scale victims legitimately never reach their target), and the
+  // sidecar's recorded reward documents exactly what the artefact
+  // achieved.
+  bool loaded = false;
+  if (std::filesystem::exists(path) && std::filesystem::exists(meta)) {
+    std::ifstream meta_in(meta);
+    std::uint64_t have_hash = 0;
+    double final_average = 0.0;
+    int reached = 0;
+    if (meta_in >> have_hash >> final_average >> reached &&
+        have_hash == want_hash &&
+        nn::load_parameters(agent->network(), path)) {
+      util::log_info("zoo: loaded victim ", key, " from ", path,
+                     " (final avg reward ", final_average,
+                     reached != 0 ? ", reached target)" : ")");
+      loaded = true;
+    }
+  }
+  if (!loaded) {
+    const rl::TrainResult result = train_victim(*agent, game, algorithm, tc);
+    if (!nn::save_parameters(agent->network(), path)) {
       util::log_warn("zoo: failed to checkpoint victim to ", path);
+    } else {
+      std::ofstream meta_out(meta, std::ios::trunc);
+      meta_out << want_hash << ' ' << result.final_average << ' '
+               << (result.reached_target ? 1 : 0) << '\n';
+    }
   }
   auto [pos, inserted] = victims_.emplace(key, std::move(agent));
   (void)inserted;

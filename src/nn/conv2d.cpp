@@ -132,10 +132,13 @@ Tensor Conv2D::forward(const Tensor& input) {
   cached_input_ = input;
   const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::size_t oh = out_extent(h), ow = out_extent(w);
-  // Reusable output buffer: only reallocated when the geometry changes.
+  // Reusable output buffer: grow-only storage, reshaped in place when the
+  // geometry changes (episode-batched inference shrinks the batch extent as
+  // episodes retire; reallocating per flush would churn the allocator).
+  // Every element is overwritten below (bias fill + GEMM), so no zeroing.
   if (out_buf_.rank() != 4 || out_buf_.dim(0) != batch ||
       out_buf_.dim(2) != oh || out_buf_.dim(3) != ow)
-    out_buf_ = Tensor({batch, out_c_, oh, ow});
+    out_buf_.resize({batch, out_c_, oh, ow});
 
   const ConvGeom geom{in_c_, h, w, k_, stride_, pad_, oh, ow};
   const std::size_t ckk = in_c_ * k_ * k_;

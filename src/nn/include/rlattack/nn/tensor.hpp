@@ -76,6 +76,13 @@ class Tensor {
   /// Throws std::logic_error on element-count mismatch.
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Reshapes in place, resizing storage to the new element count. Existing
+  /// contents are NOT preserved in any meaningful layout; callers must
+  /// overwrite every element. Capacity is grow-only (std::vector keeps its
+  /// allocation on shrink), which makes this the right tool for per-call
+  /// output buffers whose batch extent fluctuates.
+  void resize(std::vector<std::size_t> shape);
+
   /// In-place fill.
   void fill(float value) noexcept;
   /// Sets every element to zero (grad reset).

@@ -43,6 +43,12 @@ Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   return out;
 }
 
+void Tensor::resize(std::vector<std::size_t> shape) {
+  const std::size_t n = shape_numel(shape);
+  shape_ = std::move(shape);
+  data_.resize(n);
+}
+
 void Tensor::fill(float value) noexcept {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -32,7 +32,8 @@ AgentPtr A2cAgent::clone() {
 }
 
 std::size_t A2cAgent::act(const nn::Tensor& observation, bool explore) {
-  nn::Tensor out = net_->forward(as_batch_of_one(observation));  // [1, A+1]
+  nn::Tensor out =
+      net_->forward(as_batch_of_one_into(observation, obs_scratch_));
   std::vector<float> logits(actions_);
   for (std::size_t a = 0; a < actions_; ++a) logits[a] = out.at2(0, a);
   if (!explore) return nn::argmax(logits);
@@ -42,6 +43,28 @@ std::size_t A2cAgent::act(const nn::Tensor& observation, bool explore) {
   for (std::size_t a = 0; a < actions_; ++a)
     probs[a] = std::exp(logits[a] - mx);
   return rng_.categorical(probs);
+}
+
+std::vector<std::size_t> A2cAgent::act_batch(const nn::Tensor& observations,
+                                             bool explore) {
+  const std::size_t batch = observations.dim(0);
+  nn::Tensor out = net_->forward(observations);  // [B, A+1]
+  std::vector<std::size_t> actions(batch);
+  std::vector<float> logits(actions_);
+  std::vector<float> probs(actions_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t a = 0; a < actions_; ++a) logits[a] = out.at2(b, a);
+    if (!explore) {
+      actions[b] = nn::argmax(logits);
+      continue;
+    }
+    // Per-row sampling in row order, matching B serial act() calls' draws.
+    const float mx = *std::max_element(logits.begin(), logits.end());
+    for (std::size_t a = 0; a < actions_; ++a)
+      probs[a] = std::exp(logits[a] - mx);
+    actions[b] = rng_.categorical(probs);
+  }
+  return actions;
 }
 
 void A2cAgent::begin_episode() {}

@@ -1,5 +1,6 @@
 #include "rlattack/rl/agent.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -15,6 +16,28 @@ Agent::Agent() {
 
 std::uint64_t agent_constructions() noexcept {
   return g_agent_constructions.load(std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> Agent::act_batch(const nn::Tensor& observations,
+                                          bool explore) {
+  // Defining per-row loop: slices each row back out and defers to act().
+  // Subclasses override with a single [B, ...] forward; this fallback keeps
+  // any override trivially comparable against the contract.
+  if (observations.rank() < 2)
+    throw std::logic_error("Agent::act_batch: expected a [B, S...] stack, got " +
+                           observations.shape_string());
+  const std::size_t batch = observations.dim(0);
+  const auto& shape = observations.shape();
+  std::vector<std::size_t> item_shape(shape.begin() + 1, shape.end());
+  const std::size_t stride = nn::shape_numel(item_shape);
+  nn::Tensor row(item_shape);
+  std::vector<std::size_t> actions(batch);
+  const float* src = observations.raw();
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::copy(src + b * stride, src + (b + 1) * stride, row.raw());
+    actions[b] = act(row, explore);
+  }
+  return actions;
 }
 
 void Agent::reset_from(const Agent& src) {

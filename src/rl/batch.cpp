@@ -30,4 +30,15 @@ nn::Tensor as_batch_of_one(const nn::Tensor& observation) {
   return observation.reshaped(std::move(shape));
 }
 
+const nn::Tensor& as_batch_of_one_into(const nn::Tensor& observation,
+                                       nn::Tensor& scratch) {
+  std::vector<std::size_t> shape{1};
+  const auto& s = observation.shape();
+  shape.insert(shape.end(), s.begin(), s.end());
+  if (scratch.shape() != shape) scratch.resize(std::move(shape));
+  auto src = observation.data();
+  std::copy(src.begin(), src.end(), scratch.data().begin());
+  return scratch;
+}
+
 }  // namespace rlattack::rl

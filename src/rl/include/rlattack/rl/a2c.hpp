@@ -32,6 +32,8 @@ class A2cAgent final : public Agent {
            std::uint64_t seed);
 
   std::size_t act(const nn::Tensor& observation, bool explore) override;
+  std::vector<std::size_t> act_batch(const nn::Tensor& observations,
+                                     bool explore) override;
   void begin_episode() override;
   void learn(const nn::Tensor& observation, std::size_t action, double reward,
              const nn::Tensor& next_observation, bool done) override;
@@ -59,6 +61,7 @@ class A2cAgent final : public Agent {
     float reward;
   };
   std::vector<Pending> rollout_;
+  nn::Tensor obs_scratch_;  ///< [1, S...] batch-of-one row, reused by act()
   std::size_t updates_ = 0;
 };
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "rlattack/nn/layer.hpp"
 #include "rlattack/nn/tensor.hpp"
@@ -26,6 +27,18 @@ class Agent {
   /// its training-time behaviour policy (epsilon-greedy, sampling, noisy
   /// nets); with false it acts greedily/deterministically.
   virtual std::size_t act(const nn::Tensor& observation, bool explore) = 0;
+
+  /// Batched variant of `act`: `observations` is a [B, S...] stack and the
+  /// result holds one action per row. Contract (the episode-batched
+  /// evaluation substrate depends on it): for any stack of observations
+  /// o_1..o_B, `act_batch(stack(o_1..o_B), explore)` returns exactly
+  /// `{act(o_1, explore), ..., act(o_B, explore)}` — bit-identical actions
+  /// AND an identical RNG stream afterwards, so batching is invisible to
+  /// callers regardless of how rows are grouped across flushes. The base
+  /// implementation is the defining per-row loop; subclasses override it
+  /// with one [B, ...] forward where they can keep the contract.
+  virtual std::vector<std::size_t> act_batch(const nn::Tensor& observations,
+                                             bool explore);
 
   /// Called at the start of each training episode.
   virtual void begin_episode() {}

@@ -14,4 +14,11 @@ nn::Tensor batch_observations(std::span<const nn::Tensor* const> observations);
 /// Wraps a single observation as a batch of one: {S...} -> [1, S...].
 nn::Tensor as_batch_of_one(const nn::Tensor& observation);
 
+/// Alloc-free variant for per-step hot paths: copies `observation` into
+/// `scratch` shaped [1, S...] and returns `scratch`. The scratch tensor's
+/// storage is grow-only across calls, so a per-agent scratch member makes
+/// the serial `act()` path allocation-free after the first step.
+const nn::Tensor& as_batch_of_one_into(const nn::Tensor& observation,
+                                       nn::Tensor& scratch);
+
 }  // namespace rlattack::rl

@@ -66,6 +66,8 @@ class QAgent final : public Agent {
   QAgent(ObsSpec obs, std::size_t actions, Config config, std::uint64_t seed);
 
   std::size_t act(const nn::Tensor& observation, bool explore) override;
+  std::vector<std::size_t> act_batch(const nn::Tensor& observations,
+                                     bool explore) override;
   void begin_episode() override;
   void learn(const nn::Tensor& observation, std::size_t action, double reward,
              const nn::Tensor& next_observation, bool done) override;
@@ -111,6 +113,7 @@ class QAgent final : public Agent {
   };
   std::deque<Pending> nstep_queue_;
   nn::Tensor nstep_bootstrap_;  ///< latest s_{t+1}; bootstrap state on flush
+  nn::Tensor obs_scratch_;      ///< [1, S...] batch-of-one row, reused by act()
 
   std::size_t env_steps_ = 0;
   std::size_t updates_ = 0;

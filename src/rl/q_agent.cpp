@@ -89,10 +89,42 @@ std::size_t QAgent::act(const nn::Tensor& observation, bool explore) {
     return rng_.uniform_int(actions_);
   online_->set_training(explore && config_.use_noisy);
   if (explore && config_.use_noisy) online_->resample_noise(rng_);
-  nn::Tensor out = online_->forward(as_batch_of_one(observation));
+  nn::Tensor out =
+      online_->forward(as_batch_of_one_into(observation, obs_scratch_));
   online_->set_training(true);
   if (config_.use_distributional) out = expected_q(out);
   return nn::argmax(out.data());
+}
+
+std::vector<std::size_t> QAgent::act_batch(const nn::Tensor& observations,
+                                           bool explore) {
+  // NoisyNet exploration resamples parameter noise per act() call, which a
+  // shared forward cannot reproduce — defer to the defining per-row loop.
+  if (explore && config_.use_noisy) return Agent::act_batch(observations, explore);
+
+  const std::size_t batch = observations.dim(0);
+  std::vector<std::size_t> actions(batch);
+  std::vector<unsigned char> is_random(batch, 0);
+  if (explore) {
+    // Epsilon draws happen in row order BEFORE the forward, exactly as B
+    // serial act() calls would consume the stream (the forward itself draws
+    // nothing). Random rows still ride the batched forward; their greedy
+    // result is discarded.
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (rng_.bernoulli(epsilon())) {
+        is_random[b] = 1;
+        actions[b] = rng_.uniform_int(actions_);
+      }
+    }
+  }
+  online_->set_training(false);  // == set_training(explore && use_noisy) here
+  nn::Tensor out = online_->forward(observations);
+  online_->set_training(true);
+  if (config_.use_distributional) out = expected_q(out);
+  const std::vector<std::size_t> greedy = nn::argmax_rows(out);
+  for (std::size_t b = 0; b < batch; ++b)
+    if (is_random[b] == 0) actions[b] = greedy[b];
+  return actions;
 }
 
 nn::Tensor QAgent::expected_q(const nn::Tensor& dist_logits) const {

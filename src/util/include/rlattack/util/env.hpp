@@ -53,6 +53,9 @@ namespace rlattack::util::env {
   X(kCraftBatch, "RLATTACK_CRAFT_BATCH",                                       \
     "0 disables the batched craft substrate; an integer > 1 sets the "         \
     "flush width (default 32)")                                                \
+  X(kEvalBatch, "RLATTACK_EVAL_BATCH",                                         \
+    "0 disables the episode-batched evaluation substrate; an integer > 1 "     \
+    "sets the rendezvous width (default 32)")                                  \
   X(kBenchScale, "RLATTACK_BENCH_SCALE",                                       \
     "multiplier on bench grid sizes (episodes/epochs); default 1.0")           \
   X(kBenchCompare, "RLATTACK_BENCH_COMPARE",                                   \

@@ -342,6 +342,48 @@ TEST(CheckedInvariantsTest, StallWatchdogFiresForStalledRendezvous) {
   obs::set_metrics_enabled(saved_metrics);
 }
 
+// As above for the episode-batched evaluation side of the rendezvous: a
+// parked EvalProbe submitter behind a participant that never probes must
+// tick eval.batch.stall every elapsed watchdog interval.
+TEST(CheckedInvariantsTest, EvalStallWatchdogFiresForStalledRendezvous) {
+  auto model = make_model();
+  attack::BatchedCraftPlanner planner(model);
+  planner.set_victim_handler(
+      [](std::span<attack::BatchedCraftPlanner::EvalProbe* const> probes) {
+        for (attack::BatchedCraftPlanner::EvalProbe* probe : probes)
+          probe->action = 0;
+      });
+  const std::size_t saved_ms = attack::stall_watchdog_ms();
+  const bool saved_metrics = obs::metrics_enabled();
+  attack::set_stall_watchdog_ms(10);
+  obs::set_metrics_enabled(true);
+  obs::Counter& stall =
+      obs::MetricsRegistry::global().counter("eval.batch.stall");
+  const std::uint64_t before = stall.value();
+
+  attack::BatchedCraftPlanner::Participant idle(planner);  // never probes
+  std::thread prober([&] {
+    attack::BatchedCraftPlanner::Participant me(planner);
+    const nn::Tensor observation({4});
+    attack::BatchedCraftPlanner::EvalProbe probe;
+    probe.observation = &observation;
+    // Parks in the rendezvous: two enrolled, one eval probe queued. Only
+    // the idle participant's retirement below can complete the flush.
+    planner.submit(probe);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (stall.value() == before &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(stall.value(), before)
+      << "eval watchdog never fired for a stalled rendezvous";
+  idle.retire();  // rendezvous complete: the queued eval probe flushes
+  prober.join();
+  attack::set_stall_watchdog_ms(saved_ms);
+  obs::set_metrics_enabled(saved_metrics);
+}
+
 // --------------------------------------------------------- RNG stream hash
 
 TEST(CheckedInvariantsTest, RngStreamHashIsPureFunctionOfSeed) {

@@ -12,6 +12,7 @@
 
 #include "rlattack/attack/batch_planner.hpp"
 #include "rlattack/core/experiments.hpp"
+#include "rlattack/obs/forensics.hpp"
 #include "rlattack/obs/metrics.hpp"
 #include "rlattack/obs/trace.hpp"
 #include "rlattack/rl/agent.hpp"
@@ -404,6 +405,109 @@ TEST_F(ExperimentsParallelTest, CraftBatchOnOffRowsBitIdentical) {
           << "variant " << v << " row " << i;
     }
   }
+}
+
+// Episode-batched evaluation on/off parity: fusing every concurrent
+// episode's per-step victim policy query (and its approximator probes) into
+// shared rendezvous forwards must leave every experiment row bit-identical
+// to the single-row paths — at experiment threads 1 and 4. The driver-level
+// timing also has to show the substrate actually engaged when enabled and
+// stood down under the RLATTACK_EVAL_BATCH kill switch.
+TEST_F(ExperimentsParallelTest, EvalBatchOnOffRowsBitIdentical) {
+  const bool saved = attack::eval_batch_enabled();
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  // Query-free Gaussian, single-query FGSM and iterative PGD: the eval
+  // rendezvous must stay bit-identical whether the enrolled episodes also
+  // craft through the planner or only evaluate through it.
+  cfg.attacks = {attack::Kind::kGaussian, attack::Kind::kFgsm,
+                 attack::Kind::kPgd};
+  cfg.l2_budgets = {0.0, 0.5};
+  cfg.runs = 3;
+  cfg.seed = 3000;
+
+  std::vector<std::vector<RewardPoint>> results;  // [on/off][threads 1/4]
+  std::vector<std::size_t> eval_batches;
+  for (bool enabled : {true, false}) {
+    attack::set_eval_batch_enabled(enabled);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      zoo.set_experiment_threads(threads);
+      ExperimentTiming timing;
+      results.push_back(run_reward_experiment(zoo, cfg, &timing));
+      eval_batches.push_back(timing.eval_batch);
+    }
+  }
+  attack::set_eval_batch_enabled(saved);
+
+  // The substrate host count is independent of experiment_threads: the
+  // rendezvous width bounds it, the job count fills it.
+  EXPECT_GT(eval_batches[0], 1u);
+  EXPECT_GT(eval_batches[1], 1u);
+  EXPECT_EQ(eval_batches[2], 0u);
+  EXPECT_EQ(eval_batches[3], 0u);
+
+  const auto& reference = results.front();
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].size(), reference.size()) << "variant " << v;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[v][i].attack, reference[i].attack)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].l2_budget, reference[i].l2_budget)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_reward, reference[i].mean_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].stddev_reward, reference[i].stddev_reward)
+          << "variant " << v << " row " << i;
+      EXPECT_EQ(results[v][i].mean_realised_l2, reference[i].mean_realised_l2)
+          << "variant " << v << " row " << i;
+    }
+  }
+}
+
+// Eval-batched forensics attribution: with rows from B concurrent episodes
+// fused into shared forwards, every per-step forensics record must still
+// land on the episode that owns the step, with per-step query deltas
+// unchanged. The serial single-row run is the oracle; the export is sorted
+// by (episode_key, seed, step), so the comparison is byte-exact.
+TEST_F(ExperimentsParallelTest, EvalBatchForensicsAttributionBitIdentical) {
+  Zoo zoo = make_tiny_zoo();
+  RewardExperimentConfig cfg;
+  cfg.game = env::Game::kCartPole;
+  cfg.algorithm = rl::Algorithm::kDqn;
+  cfg.attacks = {attack::Kind::kFgsm, attack::Kind::kPgd};
+  cfg.l2_budgets = {0.5};
+  cfg.runs = 2;
+  cfg.seed = 5000;
+  // Zoo artefacts must exist before forensics turns on: training also steps
+  // pipelines and would otherwise pollute the record stream.
+  (void)zoo.victim(cfg.game, cfg.algorithm);
+  (void)zoo.approximator(cfg.game, rl::Algorithm::kDqn, 1);
+
+  const bool saved_eval = attack::eval_batch_enabled();
+  const bool saved_forensics = obs::forensics_enabled();
+  obs::forensics_detail::g_forensics_enabled.store(true,
+                                                   std::memory_order_relaxed);
+  const auto run_and_export = [&](bool eval_batched, std::size_t threads) {
+    attack::set_eval_batch_enabled(eval_batched);
+    zoo.set_experiment_threads(threads);
+    obs::forensics_reset();
+    (void)run_reward_experiment(zoo, cfg, nullptr);
+    std::string jsonl = obs::forensics_to_jsonl();
+    obs::forensics_reset();
+    return jsonl;
+  };
+  const std::string serial = run_and_export(false, 1);
+  const std::string batched1 = run_and_export(true, 1);
+  const std::string batched4 = run_and_export(true, 4);
+  obs::forensics_detail::g_forensics_enabled.store(
+      saved_forensics, std::memory_order_relaxed);
+  attack::set_eval_batch_enabled(saved_eval);
+
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(batched1, serial);
+  EXPECT_EQ(batched4, serial);
 }
 
 // Worker-pool pinning: after a warm-up invocation has populated the

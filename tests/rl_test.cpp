@@ -2,6 +2,8 @@
 // tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gradcheck.hpp"
 #include "rlattack/env/cartpole.hpp"
 #include "rlattack/rl/a2c.hpp"
@@ -350,6 +352,79 @@ TEST(C51, GreedyPrefersHigherExpectedValueState) {
   }
   EXPECT_EQ(agent.act(state_a, false), 0u);
   EXPECT_EQ(agent.act(state_b, false), 1u);
+}
+
+// act_batch contract (Agent::act_batch): the batched path must return
+// exactly the actions B serial act() calls would, AND leave the agent's RNG
+// stream in the identical state afterwards. The stream half of the contract
+// is checked by interleaving rounds on a pair of same-seed agents — a
+// stream that drifted in round r shows up as differing actions in round
+// r+1, without needing access to the private RNG.
+std::vector<std::size_t> act_rows_serially(Agent& agent,
+                                           const nn::Tensor& stack,
+                                           bool explore) {
+  const std::size_t batch = stack.dim(0);
+  const std::size_t width = stack.dim(1);
+  std::vector<std::size_t> actions(batch);
+  nn::Tensor row({width});
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::copy(stack.raw() + b * width, stack.raw() + (b + 1) * width,
+              row.raw());
+    actions[b] = agent.act(row, explore);
+  }
+  return actions;
+}
+
+TEST(ActBatch, GreedyMatchesSerialPerAlgorithm) {
+  util::Rng obs_rng(99);
+  for (Algorithm a : {Algorithm::kDqn, Algorithm::kA2c, Algorithm::kRainbow}) {
+    AgentPtr serial = make_agent(a, ObsSpec{{4}}, 3, 21);
+    AgentPtr batched = make_agent(a, ObsSpec{{4}}, 3, 21);
+    const nn::Tensor stack = random_tensor({6, 4}, obs_rng);
+    const std::vector<std::size_t> expected =
+        act_rows_serially(*serial, stack, /*explore=*/false);
+    EXPECT_EQ(batched->act_batch(stack, false), expected)
+        << algorithm_name(a);
+    // Greedy evaluation consumes no RNG, so the very agent that just acted
+    // serially must reproduce its own rows through the batched path too.
+    EXPECT_EQ(serial->act_batch(stack, false), expected)
+        << algorithm_name(a);
+  }
+}
+
+TEST(ActBatch, ExploreMatchesSerialAndKeepsRngStreamAligned) {
+  struct Case {
+    const char* name;
+    AgentPtr serial;
+    AgentPtr batched;
+  };
+  // dqn: epsilon-greedy pre-draws; c51: distributional head on the shared
+  // forward; rainbow: NoisyNet explore falls back to the defining per-row
+  // loop; a2c: per-row categorical sampling after one forward.
+  std::vector<Case> cases;
+  cases.push_back({"dqn", make_dqn_agent(ObsSpec{{4}}, 3, 31),
+                   make_dqn_agent(ObsSpec{{4}}, 3, 31)});
+  cases.push_back({"c51", make_c51_agent(ObsSpec{{4}}, 3, 32),
+                   make_c51_agent(ObsSpec{{4}}, 3, 32)});
+  cases.push_back({"rainbow", make_rainbow_agent(ObsSpec{{4}}, 3, 33),
+                   make_rainbow_agent(ObsSpec{{4}}, 3, 33)});
+  cases.push_back({"a2c", make_a2c_agent(ObsSpec{{4}}, 3, 34),
+                   make_a2c_agent(ObsSpec{{4}}, 3, 34)});
+  util::Rng obs_rng(123);
+  for (Case& c : cases) {
+    for (int round = 0; round < 5; ++round) {
+      const nn::Tensor stack = random_tensor({7, 4}, obs_rng);
+      const std::vector<std::size_t> expected =
+          act_rows_serially(*c.serial, stack, /*explore=*/true);
+      EXPECT_EQ(c.batched->act_batch(stack, true), expected)
+          << c.name << " round " << round;
+    }
+  }
+}
+
+TEST(ActBatch, RejectsUnstackedObservation) {
+  AgentPtr agent = make_dqn_agent(ObsSpec{{4}}, 2, 7);
+  EXPECT_THROW(agent->act_batch(nn::Tensor({4}), false), std::logic_error);
 }
 
 TEST(Trainer, CollectEpisodesRecordsActions) {

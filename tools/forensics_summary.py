@@ -43,6 +43,44 @@ def load_records(path):
     return records
 
 
+def check_consistency(records, path):
+    """Per-record attribution invariants; raises SystemExit on violation.
+
+    The pipeline emits every record from the episode that owns the step, so
+    the per-step query deltas must match the step's own flags even when the
+    underlying forwards were fused across episodes by the batched-evaluation
+    substrate.  A record whose counters disagree with its flags means a
+    batched row was attributed to the wrong episode:
+      - attacked steps are always eligible,
+      - the victim is queried twice on attacked steps (clean counterfactual
+        plus delivered frame) and once otherwise,
+      - gradient queries only happen while crafting (attacked steps),
+      - ineligible steps never touch the approximator at all.
+    """
+    for idx, rec in enumerate(records, start=1):
+        q = rec.get("queries", {})
+        forward = q.get("forward", 0)
+        gradient = q.get("gradient", 0)
+        victim = q.get("victim", 0)
+        attacked = bool(rec.get("attacked"))
+        eligible = bool(rec.get("eligible"))
+        where = (f"{path}: record {idx} (episode {rec['episode']} "
+                 f"seed {rec['seed']} step {rec['step']})")
+        if attacked and not eligible:
+            raise SystemExit(f"{where}: attacked but not eligible")
+        if victim != (2 if attacked else 1):
+            raise SystemExit(
+                f"{where}: victim queries {victim}, expected "
+                f"{2 if attacked else 1} (attacked={attacked})")
+        if gradient and not attacked:
+            raise SystemExit(
+                f"{where}: {gradient} gradient queries on an unattacked step")
+        if not eligible and (forward or gradient):
+            raise SystemExit(
+                f"{where}: approximator queries (forward={forward}, "
+                f"gradient={gradient}) on an ineligible step")
+
+
 def mean(values):
     return sum(values) / len(values) if values else 0.0
 
@@ -118,6 +156,7 @@ def main(argv=None):
     if not records:
         print(f"{args.path}: no forensics records", file=sys.stderr)
         return 1
+    check_consistency(records, args.path)
 
     episodes = defaultdict(list)
     for rec in records:
